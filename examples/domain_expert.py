@@ -1,0 +1,54 @@
+"""The domain-expert use case (paper §6.1, Fig. 9).
+
+A TPC-H user wonders why their join + aggregation query is slow.  Tailored
+Profiling aggregates hardware samples up to the query-plan level — the
+abstraction the user already thinks in — and contrasts it with EXPLAIN
+ANALYZE's tuple counts, which approximate but do not measure time.
+
+Run:  python examples/domain_expert.py
+"""
+
+from repro import Database
+
+QUERY = """
+select l_orderkey, avg(l_extendedprice) as avg_price
+from lineitem, orders
+where o_orderdate < date '1995-04-01' and o_orderkey = l_orderkey
+group by l_orderkey
+order by avg_price desc
+limit 10
+"""
+
+
+def main() -> None:
+    print("loading TPC-H (scale 0.002)...")
+    db = Database.tpch(scale=0.002)
+
+    print("\nEXPLAIN ANALYZE — tuple counts (what most systems offer):")
+    print(db.explain_analyze(QUERY))
+
+    print("\nTailored Profiling — where the *time* actually goes:")
+    profile = db.profile(QUERY)
+    print(profile.annotated_plan())
+
+    costs = sorted(
+        profile.operator_costs().items(), key=lambda kv: -kv[1]
+    )
+    top_operator, top_share = costs[0]
+    print(
+        f"\n=> {top_operator.label} consumes {top_share * 100:.0f}% of the "
+        "query's samples,"
+    )
+    runner_up, runner_share = costs[1]
+    print(f"   followed by {runner_up.label} at {runner_share * 100:.0f}%.")
+    print(
+        "\nThe paper's point: EXPLAIN ANALYZE counts tuples, which only\n"
+        "approximates cost; sampling measures where the time actually goes.\n"
+        "Here the join and the aggregation together dominate — an informed\n"
+        "user can now decide between an index (cheaper join) or a sampling\n"
+        "operator (fewer tuples reaching the aggregation), as §6.1 discusses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""The cross-cutting drill-down workflow (paper §4.3).
+
+"The operator developer can inspect this [activity over time] to learn
+about the interaction between operators and detect temporal hotspots.
+Then they can use the profiler to narrow down on the next lower
+abstraction level, i.e., limit the results to the time interval of the
+hotspot."  — this example does exactly that: timeline → zoom onto the
+hottest interval → per-task view → annotated IR of the culprit pipeline.
+
+Run:  python examples/drill_down.py
+"""
+
+from repro import Database
+from repro.data.queries import ALL_QUERIES
+
+
+def main() -> None:
+    print("loading TPC-H (scale 0.002)...")
+    db = Database.tpch(scale=0.002)
+    profile = db.profile(ALL_QUERIES["q18"].sql)
+
+    # 1. the top level: operator activity over time
+    print("\nstep 1 — activity over the whole run:")
+    print(profile.render_timeline(bins=40))
+
+    # 2. find the busiest late interval and zoom onto it
+    timeline = profile.activity_timeline(bins=10)
+    hottest = max(timeline.bins[5:], key=lambda b: b.total)
+    zoomed = profile.zoom(hottest.start_tsc, hottest.end_tsc)
+    print(
+        f"\nstep 2 — zoomed onto [{hottest.start_tsc:,}, {hottest.end_tsc:,}) "
+        f"({len(zoomed.samples)} of {len(profile.samples)} samples):"
+    )
+    print(zoomed.annotated_plan())
+
+    # 3. one level down: which pipeline/task is hot inside the interval?
+    print("\nstep 3 — pipelines of tasks inside the hotspot:")
+    print(zoomed.annotated_pipelines())
+
+    # 4. bottom level: the annotated IR of the hottest task's pipeline
+    task, _ = max(zoomed.task_costs().items(), key=lambda kv: kv[1])
+    pipeline = next(
+        p for p in profile.pipelines if any(t.id == task.id for t in p.tasks)
+    )
+    print(f"\nstep 4 — annotated IR of pipeline {pipeline.index} "
+          f"(hottest task: {task.label}), first 30 lines:")
+    for line in zoomed.annotated_ir(pipeline.index).splitlines()[:30]:
+        print(line)
+    print("...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""The operator-developer use case (paper §6.1, Figs. 6b and 12).
+
+An engineer implementing operators needs views *below* the plan level:
+the generated IR annotated with per-instruction sample shares and owning
+operators (even though operator fusion interleaved their code!), and
+per-operator memory access patterns from address-capturing load samples.
+
+Run:  python examples/operator_developer.py
+"""
+
+from repro import Database, Event, ProfilerConfig
+from repro.data.queries import EXAMPLE_QUERY
+
+
+def main() -> None:
+    print("loading the paper's Figure 3 example tables...")
+    db = Database.example(n_sales=10000, n_products=200)
+
+    # -- annotated IR (Fig. 6b): fused operators, disentangled --------------
+    profile = db.profile(EXAMPLE_QUERY.sql)
+    print("\nannotated IR of the probe pipeline (excerpt):")
+    listing = profile.annotated_ir(pipeline_index=1).splitlines()
+    for line in listing[:45]:
+        print(line)
+    print("...")
+
+    print(
+        "\nNote the rightmost column: although the scan, join and group-by\n"
+        "are fused into one tight loop, every instruction is attributed to\n"
+        "its operator via the Tagging Dictionary."
+    )
+
+    # -- memory access patterns (Fig. 12) ---------------------------------
+    config = ProfilerConfig(
+        event=Event.LOADS, period=150, record_memaddr=True
+    )
+    mem_profile = db.profile(EXAMPLE_QUERY.sql, config)
+    mem = mem_profile.memory_profile()
+    print("\nmemory access patterns (MEM_LOADS samples with addresses):")
+    print(f"{'operator':<22} {'samples':>8} {'addr range':>12} {'linearity':>10}")
+    for op, points in sorted(mem.accesses.items(), key=lambda kv: kv[0].op_id):
+        print(
+            f"{op.label:<22} {len(points):>8} {mem.address_range(op):>12,}"
+            f" {mem.band_linearity(op):>+10.2f}"
+        )
+    print(
+        "\nlinearity +1.0 = sequential (prefetcher-friendly) scan;\n"
+        "~0 = scattered hash-table access — a starting point for choosing\n"
+        "different data structures or partitioning, as §6.1 concludes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Register Tagging vs call-stack sampling (paper §4.2.5 and Fig. 13).
+
+Both mechanisms disambiguate samples that land in *shared* code — the
+pre-compiled ``ht_insert`` called by every hash-building operator.  This
+example measures their overheads and shows what happens with neither.
+
+Run:  python examples/profiling_modes.py
+"""
+
+import collections
+
+from repro import Database, ProfilerConfig, ProfilingMode
+from repro.data.queries import FIG9_QUERY
+
+
+def main() -> None:
+    print("loading TPC-H (scale 0.002)...")
+    db = Database.tpch(scale=0.002)
+    sql = FIG9_QUERY.sql  # hash-build heavy: exercises the shared runtime
+
+    base = db.execute(sql).cycles
+    print(f"\nunprofiled execution: {base:,} cycles")
+    print(f"\n{'mode':<22} {'overhead':>9} {'attributed':>11}  shared-code samples")
+
+    for label, mode in (
+        ("IP + time", ProfilingMode.NONE),
+        ("register tagging", ProfilingMode.REGISTER_TAGGING),
+        ("call-stack sampling", ProfilingMode.CALLSTACK),
+    ):
+        profile = db.profile(sql, ProfilerConfig(mode=mode))
+        overhead = profile.result.cycles / base - 1
+        summary = profile.attribution_summary()
+        shared = collections.Counter(
+            a.via for a in profile.attributions if a.runtime_function
+        )
+        print(
+            f"{label:<22} {overhead * 100:>8.1f}% "
+            f"{summary.attributed_share * 100:>10.1f}%  {dict(shared)}"
+        )
+
+    print(
+        "\nThe paper's trade-off (Fig. 13): with plain IP sampling the\n"
+        "shared runtime cannot be attributed at all; call stacks fix that\n"
+        "at ~an order of magnitude more overhead; Register Tagging fixes it\n"
+        "for a few percent (one reserved register + one extra payload)."
+    )
+
+
+if __name__ == "__main__":
+    main()

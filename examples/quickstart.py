@@ -1,0 +1,62 @@
+"""Quickstart: load data, run SQL, profile it on the plan level.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Column, Database, DataType, Schema
+
+
+def main() -> None:
+    # 1. build a database: create tables, append rows, finalize
+    db = Database()
+    t = DataType
+    sales = db.create_table("sales", Schema([
+        Column("region", t.STRING),
+        Column("product", t.STRING),
+        Column("amount", t.DECIMAL),
+        Column("sold_on", t.DATE),
+    ]))
+    rows = [
+        ("north", "widget", 10.50, "2024-01-03"),
+        ("north", "gadget", 200.00, "2024-01-04"),
+        ("south", "widget", 5.25, "2024-01-10"),
+        ("south", "widget", 7.75, "2024-02-01"),
+        ("west", "gadget", 120.00, "2024-02-11"),
+        ("west", "widget", 3.10, "2024-03-05"),
+    ] * 500  # replicate so the profiler has something to sample
+    sales.extend(rows)
+    db.finalize()
+
+    # 2. run a query — it is compiled through plan -> pipelines -> IR ->
+    #    native code and executed on the simulated machine
+    result = db.execute(
+        "select region, count(*) n, sum(amount) total "
+        "from sales where product = 'widget' "
+        "group by region order by total desc"
+    )
+    print("rows:")
+    for row in result.rows:
+        print("  ", row)
+    print(f"({result.instructions:,} instructions, {result.cycles:,} cycles)\n")
+
+    # 3. profile the same query: the Tagging Dictionary maps every sample
+    #    back to the plan operators
+    profile = db.profile(
+        "select region, count(*) n, sum(amount) total "
+        "from sales where product = 'widget' "
+        "group by region order by total desc"
+    )
+    print("operator-annotated plan (the domain expert's view):")
+    print(profile.annotated_plan())
+    print()
+    summary = profile.attribution_summary()
+    print(
+        f"{summary.total_samples} samples: "
+        f"{summary.operator_share * 100:.1f}% attributed to operators, "
+        f"{summary.kernel_share * 100:.1f}% kernel, "
+        f"{summary.unattributed_share * 100:.1f}% unattributed"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Profiling a second dataflow system on the same stack (§6.4 Portability).
+
+The EventFlow DSL is a streaming-flavoured frontend — source, where,
+derive, tumbling windows, windowed aggregation, sink — lowered through the
+same pipelines/IR/backend as SQL and profiled by the same Tagging
+Dictionary.  Note how every report speaks the DSL's vocabulary: this is
+what "report results at a granularity familiar to the reader" (§4.1) means
+when the reader is a streaming engineer rather than a SQL user.
+
+Run:  python examples/streaming_flow.py
+"""
+
+from repro import Database
+from repro.streaming import EventFlow
+
+
+def main() -> None:
+    print("loading TPC-H (scale 0.002) as an event source...")
+    db = Database.tpch(scale=0.002)
+
+    flow = (
+        EventFlow(db, "lineitem", label="shipments")
+        .where("l_quantity > 10")
+        .derive(revenue="l_extendedprice * (1 - l_discount)")
+        .tumbling_window("l_shipdate", days=30)
+        .aggregate(
+            by=["window_start", "l_returnflag"],
+            totals={"revenue": "sum(revenue)", "events": "count(*)"},
+        )
+        .order_by("window_start", "l_returnflag")
+    )
+
+    print("\nthe dataflow graph:")
+    print(flow.explain())
+
+    result = flow.run()
+    print(f"\n{len(result.rows)} windows; first three:")
+    for row in result.rows[:3]:
+        print("  ", row)
+
+    profile = flow.profile()
+    print("\noperator costs, in the DSL's own vocabulary:")
+    print(profile.annotated_plan())
+
+    print("\nactivity over time:")
+    print(profile.render_timeline(bins=40))
+
+    summary = profile.attribution_summary()
+    print(
+        f"\n{summary.attributed_share * 100:.1f}% of samples attributed — "
+        "the profiling stack needed zero changes for the new frontend."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,181 @@
+"""Command-line interface: run and profile SQL on a TPC-H-like database.
+
+Examples::
+
+    python -m repro --query q1
+    python -m repro --scale 0.002 --query q16 --profile --timeline
+    python -m repro --sql "select count(*) c from lineitem" --workers 4
+    python -m repro --query q9 --profile --mode callstack --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import Database, ProfilerConfig, ProfilingMode
+from repro.data.queries import ALL_QUERIES, EXAMPLE_QUERY, FIG9_QUERY
+from repro.errors import SqlError, format_sql_error
+from repro.profiling import export
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Tailored Profiling reproduction: compile, run, and "
+                    "profile SQL on a simulated dataflow engine.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--sql", help="a SQL statement to run")
+    source.add_argument(
+        "--query",
+        choices=sorted(ALL_QUERIES) + ["example", "fig9"],
+        help="one of the adapted TPC-H queries (q1..q22), or a paper query",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.001,
+        help="TPC-H scale factor (default 0.001)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="simulated cores for morsel-driven execution",
+    )
+    parser.add_argument(
+        "--profile", action="store_true", help="run with the PMU armed"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=[m.value for m in ProfilingMode],
+        default=ProfilingMode.REGISTER_TAGGING.value,
+        help="shared-location disambiguation mechanism",
+    )
+    parser.add_argument(
+        "--period", type=int, default=5000, help="sampling period (cycles)"
+    )
+    parser.add_argument(
+        "--timeline", action="store_true", help="print the activity timeline"
+    )
+    parser.add_argument(
+        "--pipelines", action="store_true", help="print per-task costs"
+    )
+    parser.add_argument(
+        "--ir", action="store_true", help="print the annotated IR listing"
+    )
+    parser.add_argument(
+        "--explain", action="store_true", help="print the plan and exit"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the profile as JSON"
+    )
+    parser.add_argument(
+        "--folded", metavar="PATH",
+        help="write folded stacks (flamegraph input)",
+    )
+    parser.add_argument(
+        "--save-session", metavar="DIR",
+        help="persist metadata + samples for offline post-processing",
+    )
+    parser.add_argument(
+        "--dot", metavar="PATH",
+        help="write the annotated plan as Graphviz DOT",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=20, help="result rows to print"
+    )
+    return parser
+
+
+def resolve_sql(args) -> str:
+    if args.sql:
+        return args.sql
+    if args.query == "example":
+        return EXAMPLE_QUERY.sql
+    if args.query == "fig9":
+        return FIG9_QUERY.sql
+    return ALL_QUERIES[args.query].sql
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    sql = resolve_sql(args)
+    try:
+        return _run(args, sql, out)
+    except SqlError as error:
+        print(format_sql_error(sql, error), file=out)
+        return 1
+
+
+def _run(args, sql: str, out) -> int:
+
+    if args.query == "example":
+        database = Database.example()
+    else:
+        database = Database.tpch(scale=args.scale, seed=args.seed)
+
+    if args.explain:
+        print(database.explain(sql), file=out)
+        return 0
+
+    if not args.profile:
+        result = database.execute(sql, workers=args.workers)
+        _print_result(result, args.max_rows, out)
+        return 0
+
+    config = ProfilerConfig(mode=ProfilingMode(args.mode), period=args.period)
+    profile = database.profile(sql, config, workers=args.workers)
+    _print_result(profile.result, args.max_rows, out)
+    print(file=out)
+    print(profile.annotated_plan(), file=out)
+    summary = profile.attribution_summary()
+    print(
+        f"\n{summary.total_samples} samples: "
+        f"{summary.operator_share * 100:.1f}% operators, "
+        f"{summary.kernel_share * 100:.1f}% kernel, "
+        f"{summary.unattributed_share * 100:.1f}% unattributed",
+        file=out,
+    )
+    if args.timeline:
+        print("\nactivity over time:", file=out)
+        print(profile.render_timeline(bins=40), file=out)
+    if args.pipelines:
+        print(file=out)
+        print(profile.annotated_pipelines(), file=out)
+    if args.ir:
+        print(file=out)
+        print(profile.annotated_ir(), file=out)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(export.to_json(profile))
+        print(f"\nprofile written to {args.json}", file=out)
+    if args.folded:
+        with open(args.folded, "w") as handle:
+            handle.write(export.folded_stacks(profile))
+        print(f"folded stacks written to {args.folded}", file=out)
+    if args.save_session:
+        from repro.profiling.session import save_session
+
+        save_session(profile, args.save_session)
+        print(f"session saved to {args.save_session}", file=out)
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(profile.plan_dot())
+        print(f"plan graph written to {args.dot}", file=out)
+    return 0
+
+
+def _print_result(result, max_rows: int, out) -> None:
+    print(" | ".join(result.columns), file=out)
+    for row in result.rows[:max_rows]:
+        print(" | ".join(str(v) for v in row), file=out)
+    if len(result.rows) > max_rows:
+        print(f"... ({len(result.rows)} rows total)", file=out)
+    print(
+        f"[{result.instructions:,} instructions, {result.cycles:,} cycles]",
+        file=out,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+"""Backend driver: verify, optimize, select, allocate, link.
+
+``compile_module`` appends every function of an IR module to a native
+:class:`~repro.vm.isa.Program`, resolving cross-function calls against both
+the module itself and anything already linked into the program (the
+pre-compiled runtime library).  It returns per-function compilation
+artifacts, including the optimizer's Tagging-Dictionary deltas and the
+allocator's spill statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BackendError
+from repro.ir.nodes import Module
+from repro.ir.verifier import verify_function
+from repro.vm.isa import CodeRegion, FunctionInfo, Opcode, Program, rebase
+from repro.backend.isel import select_function
+from repro.backend.opts import OptimizationResult, optimize_function
+from repro.backend.regalloc import AllocationStats, allocate_function
+
+
+@dataclass(frozen=True)
+class BackendOptions:
+    """Knobs the evaluation sweeps over."""
+
+    reserve_tag_register: bool = False  # Register Tagging on/off
+    optimize: bool = True  # constfold + CSE + DCE
+
+
+@dataclass
+class CompiledFunction:
+    """Everything the profiler and the benchmarks need per function."""
+
+    name: str
+    info: FunctionInfo
+    opt_result: OptimizationResult
+    alloc_stats: AllocationStats
+    native_size: int = 0
+    debug_entries: int = 0
+
+
+@dataclass
+class LinkUnit:
+    """Intermediate per-function artifact before placement."""
+
+    name: str
+    code: list[tuple] = field(default_factory=list)
+    debug: dict[int, int] = field(default_factory=dict)
+    call_fixups: list[tuple[int, str]] = field(default_factory=list)
+    opt_result: OptimizationResult | None = None
+    alloc_stats: AllocationStats | None = None
+
+
+def compile_module(
+    module: Module,
+    program: Program,
+    region: CodeRegion,
+    options: BackendOptions | None = None,
+) -> dict[str, CompiledFunction]:
+    """Compile all functions of ``module`` into ``program``.
+
+    Register Tagging instructions (IR ``settag``) are only materialized when
+    ``options.reserve_tag_register`` is set; otherwise they vanish, exactly
+    like profiling-disabled production builds.
+    """
+    options = options or BackendOptions()
+    units: list[LinkUnit] = []
+    for function in module.functions:
+        verify_function(function)
+        if options.optimize:
+            opt_result = optimize_function(function)
+            verify_function(function)
+        else:
+            opt_result = OptimizationResult()
+        isel = select_function(function, tagging_enabled=options.reserve_tag_register)
+        allocated = allocate_function(
+            isel.items, reserve_tag_register=options.reserve_tag_register
+        )
+        units.append(
+            LinkUnit(
+                name=function.name,
+                code=allocated.code,
+                debug=allocated.debug,
+                call_fixups=allocated.call_fixups,
+                opt_result=opt_result,
+                alloc_stats=allocated.stats,
+            )
+        )
+
+    # place every function, then patch call targets by name
+    placed: dict[str, FunctionInfo] = {}
+    fixups: list[tuple[int, str]] = []
+    compiled: dict[str, CompiledFunction] = {}
+    for unit in units:
+        start = len(program.code)
+        info = program.append_function(
+            unit.name, rebase(unit.code, start), region, debug=unit.debug
+        )
+        placed[unit.name] = info
+        fixups.extend((start + offset, target) for offset, target in unit.call_fixups)
+        compiled[unit.name] = CompiledFunction(
+            name=unit.name,
+            info=info,
+            opt_result=unit.opt_result,
+            alloc_stats=unit.alloc_stats,
+            native_size=len(unit.code),
+            debug_entries=len(unit.debug),
+        )
+
+    for ip, target in fixups:
+        if target in placed:
+            entry = placed[target].start
+        else:
+            entry = program.function_named(target).start
+        op, _, b, c = program.code[ip]
+        if op != Opcode.CALL:
+            raise BackendError(f"call fixup at {ip} does not point at a call")
+        program.code[ip] = (op, entry, b, c)
+
+    return compiled

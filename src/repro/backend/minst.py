@@ -1,0 +1,103 @@
+"""Machine-instruction forms used between instruction selection and emission.
+
+Instruction selection produces a flat list of :class:`MLabel`,
+:class:`MInst`, and :class:`MCallSeq` items over *virtual* registers
+(integers >= :data:`VREG_BASE`); the register allocator rewrites them onto
+physical registers and expands call sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vm.isa import Opcode
+
+VREG_BASE = 32
+
+# instructions whose ``c`` slot is an immediate, never a register
+_IMM_C_OPS = frozenset({
+    Opcode.LOAD, Opcode.ADDI, Opcode.MULI, Opcode.ANDI, Opcode.SHLI,
+    Opcode.SHRI, Opcode.XORI, Opcode.CMPEQI, Opcode.CMPNEI, Opcode.CMPLTI,
+    Opcode.CMPLEI, Opcode.CMPGTI, Opcode.CMPGEI, Opcode.STORE,
+})
+
+
+def is_vreg(operand) -> bool:
+    return isinstance(operand, int) and operand >= VREG_BASE
+
+
+@dataclass
+class MInst:
+    """One native instruction over virtual or physical registers."""
+
+    op: int
+    a: object = 0
+    b: object = 0
+    c: object = 0
+    ir_id: int | None = None
+
+    def defs(self) -> list[int]:
+        """Virtual registers written by this instruction."""
+        op = self.op
+        if op in (Opcode.STORE, Opcode.JMP, Opcode.BRZ, Opcode.BRNZ,
+                  Opcode.RET, Opcode.NOP, Opcode.HALT):
+            return []
+        return [self.a] if is_vreg(self.a) else []
+
+    def uses(self) -> list[int]:
+        """Virtual registers read by this instruction."""
+        op = self.op
+        out = []
+        if op == Opcode.STORE:
+            if is_vreg(self.a):
+                out.append(self.a)
+            if is_vreg(self.b):
+                out.append(self.b)
+        elif op in (Opcode.BRZ, Opcode.BRNZ):
+            if is_vreg(self.a):
+                out.append(self.a)
+        elif op == Opcode.SELECT:
+            if is_vreg(self.b):
+                out.append(self.b)
+            rt, rf = self.c
+            if is_vreg(rt):
+                out.append(rt)
+            if is_vreg(rf):
+                out.append(rf)
+        elif op in (Opcode.JMP, Opcode.RET, Opcode.NOP, Opcode.HALT, Opcode.MOVI):
+            pass
+        else:
+            if is_vreg(self.b):
+                out.append(self.b)
+            if op not in _IMM_C_OPS and is_vreg(self.c):
+                out.append(self.c)
+        return out
+
+
+@dataclass
+class MLabel:
+    """A branch target in the virtual instruction stream."""
+
+    name: str
+
+
+@dataclass
+class MCallSeq:
+    """A call pseudo-instruction, expanded after register allocation.
+
+    ``target`` is a function name (native call) or a kernel id (when
+    ``is_kernel``).  ``args`` are virtual registers or immediate ints;
+    ``dst`` receives r0 afterwards if not None.
+    """
+
+    target: object
+    args: list = field(default_factory=list)
+    dst: int | None = None
+    is_kernel: bool = False
+    ir_id: int | None = None
+
+    def uses(self) -> list[int]:
+        return [a for a in self.args if is_vreg(a)]
+
+    def defs(self) -> list[int]:
+        return [self.dst] if self.dst is not None else []

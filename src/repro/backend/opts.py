@@ -1,0 +1,196 @@
+"""IR-level optimization passes: constant folding, CSE, dead-code elimination.
+
+These are the paper's Table 1 optimizations.  Each pass reports what it did
+in an :class:`OptimizationResult` so the Tagging Dictionary can be kept
+consistent (§4.2.7): eliminated instructions are *removed* from the
+dictionary (their ids can never appear in samples), and instructions merged
+by common-subexpression elimination gain *multiple* parents — a sample on
+the surviving instruction belongs to every original source location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.nodes import BINARY_OPS, CMP_OPS, Const, Function, Instr, Type, Value
+from repro.vm.machine import _sdiv, crc32_mix
+
+_MASK64 = (1 << 64) - 1
+
+_PURE_OPS = BINARY_OPS | CMP_OPS | {"gep", "select", "sitofp", "fptosi"}
+
+
+@dataclass
+class OptimizationResult:
+    """What the optimizer changed, keyed by IR instruction id."""
+
+    removed: set[int] = field(default_factory=set)
+    merged: dict[int, set[int]] = field(default_factory=dict)
+    folded: int = 0
+
+    def record_merge(self, survivor: int, duplicate: int) -> None:
+        group = self.merged.setdefault(survivor, set())
+        group.add(duplicate)
+        # transitively absorb anything the duplicate had already absorbed
+        if duplicate in self.merged:
+            group |= self.merged.pop(duplicate)
+
+
+def _wrap_mul(a: int, b: int) -> int:
+    r = (a * b) & _MASK64
+    return r - (1 << 64) if r >= (1 << 63) else r
+
+
+def _eval_binary(op: str, a, b):
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return _wrap_mul(a, b) if isinstance(a, int) and isinstance(b, int) else a * b
+    if op == "sdiv":
+        return _sdiv(a, b)
+    if op == "srem":
+        return a - b * _sdiv(a, b)
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return (a << (b & 63)) & _MASK64
+    if op == "shr":
+        return (a & _MASK64) >> (b & 63)
+    if op == "rotr":
+        v = a & _MASK64
+        s = b & 63
+        return ((v >> s) | (v << (64 - s))) & _MASK64
+    if op == "crc32":
+        return crc32_mix(a, b)
+    if op == "fdiv":
+        return a / b
+    if op == "min":
+        return min(a, b)
+    if op == "max":
+        return max(a, b)
+    if op == "cmpeq":
+        return 1 if a == b else 0
+    if op == "cmpne":
+        return 1 if a != b else 0
+    if op == "cmplt":
+        return 1 if a < b else 0
+    if op == "cmple":
+        return 1 if a <= b else 0
+    if op == "cmpgt":
+        return 1 if a > b else 0
+    if op == "cmpge":
+        return 1 if a >= b else 0
+    raise AssertionError(op)
+
+
+def _replace_uses(function: Function, old: Instr, new: Value) -> None:
+    for block in function.blocks:
+        for instr in block.instructions:
+            instr.args = [new if a is old else a for a in instr.args]
+            if instr.op == "phi":
+                instr.incomings = [
+                    (new if v is old else v, b) for v, b in instr.incomings
+                ]
+
+
+def constant_fold(function: Function, result: OptimizationResult) -> bool:
+    """Fold instructions whose operands are all constants; returns progress."""
+    progress = False
+    for block in function.blocks:
+        for instr in list(block.instructions):
+            folded: Value | None = None
+            if (
+                instr.op in BINARY_OPS or instr.op in CMP_OPS
+            ) and all(isinstance(a, Const) for a in instr.args):
+                a, b = (arg.value for arg in instr.args)
+                if instr.op in ("sdiv", "srem", "fdiv") and b == 0:
+                    continue  # leave the runtime fault in place
+                folded = Const(_eval_binary(instr.op, a, b), instr.type)
+            elif instr.op == "select" and isinstance(instr.args[0], Const):
+                folded_value = instr.args[1] if instr.args[0].value else instr.args[2]
+                folded = folded_value
+            elif instr.op == "sitofp" and isinstance(instr.args[0], Const):
+                folded = Const(float(instr.args[0].value), Type.F64)
+            elif instr.op == "fptosi" and isinstance(instr.args[0], Const):
+                folded = Const(int(instr.args[0].value), Type.I64)
+            if folded is not None:
+                _replace_uses(function, instr, folded)
+                block.instructions.remove(instr)
+                result.removed.add(instr.id)
+                result.folded += 1
+                progress = True
+    return progress
+
+
+def common_subexpression_elimination(
+    function: Function, result: OptimizationResult
+) -> bool:
+    """Local (per-block) CSE over pure instructions."""
+    progress = False
+
+    def key_of(instr: Instr):
+        parts: list = [instr.op, instr.type, instr.scale, instr.offset]
+        for arg in instr.args:
+            if isinstance(arg, Const):
+                parts.append(("const", arg.value, arg.type))
+            elif isinstance(arg, Instr):
+                parts.append(("instr", arg.id))
+            else:
+                parts.append(("param", arg.index))
+        return tuple(parts)
+
+    for block in function.blocks:
+        seen: dict[tuple, Instr] = {}
+        for instr in list(block.instructions):
+            if instr.op not in _PURE_OPS:
+                continue
+            key = key_of(instr)
+            survivor = seen.get(key)
+            if survivor is None:
+                seen[key] = instr
+                continue
+            _replace_uses(function, instr, survivor)
+            block.instructions.remove(instr)
+            result.record_merge(survivor.id, instr.id)
+            progress = True
+    return progress
+
+
+def dead_code_elimination(function: Function, result: OptimizationResult) -> bool:
+    """Remove pure instructions whose results are never used."""
+    progress = False
+    while True:
+        used: set[int] = set()
+        for block in function.blocks:
+            for instr in block.instructions:
+                for operand in instr.operands():
+                    if isinstance(operand, Instr):
+                        used.add(operand.id)
+        removed_now = False
+        for block in function.blocks:
+            for instr in list(block.instructions):
+                if instr.op in _PURE_OPS and instr.id not in used:
+                    block.instructions.remove(instr)
+                    result.removed.add(instr.id)
+                    removed_now = True
+        if not removed_now:
+            return progress
+        progress = True
+
+
+def optimize_function(function: Function) -> OptimizationResult:
+    """Run all passes to fixpoint; returns the Tagging-Dictionary deltas."""
+    result = OptimizationResult()
+    changed = True
+    while changed:
+        changed = False
+        changed |= constant_fold(function, result)
+        changed |= common_subexpression_elimination(function, result)
+        changed |= dead_code_elimination(function, result)
+    return result

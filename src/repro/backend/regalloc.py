@@ -1,0 +1,323 @@
+"""Linear-scan register allocation and call-sequence expansion.
+
+The allocatable pool is r7..r14; Register Tagging *reserves* r14, shrinking
+the pool — which is exactly how the paper's 2.8 % reservation overhead
+arises: fewer registers, more spill traffic.  All registers are caller-saved,
+so any value live across a call is spilled to the stack frame (a
+simplification relative to LLVM's callee-saved set, biased toward *more*
+realistic pressure around the pre-compiled runtime calls the paper's
+Register Tagging guards).
+
+Spilled values are accessed through the scratch registers r4/r5, which is
+safe because argument registers are only written inside expanded call
+sequences, and those never need scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BackendError
+from repro.vm.isa import REG_SP, REG_TAG, Opcode
+from repro.backend.minst import MCallSeq, MInst, MLabel, is_vreg
+
+POOL_FULL = tuple(range(7, 15))  # r7..r14
+SCRATCH_A = 4
+SCRATCH_B = 5
+SCRATCH_C = 3  # only needed by SELECT, the one three-source instruction
+
+
+@dataclass
+class AllocationStats:
+    """Spill statistics, reported by the register-reservation benchmark."""
+
+    vregs: int = 0
+    spilled: int = 0
+    spill_slots: int = 0
+    call_crossings: int = 0
+
+
+@dataclass
+class AllocatedCode:
+    """Final function-relative native code plus metadata."""
+
+    code: list[tuple] = field(default_factory=list)
+    debug: dict[int, int] = field(default_factory=dict)
+    call_fixups: list[tuple[int, str]] = field(default_factory=list)
+    stats: AllocationStats = field(default_factory=AllocationStats)
+
+
+def _successors(items, index, label_pos):
+    item = items[index]
+    if isinstance(item, MInst):
+        if item.op == Opcode.JMP:
+            return [label_pos[item.a]]
+        if item.op in (Opcode.BRZ, Opcode.BRNZ):
+            return [label_pos[item.b], index + 1]
+        if item.op in (Opcode.RET, Opcode.HALT):
+            return []
+    return [index + 1] if index + 1 < len(items) else []
+
+
+def _liveness(items):
+    """Per-item live-out vreg sets via backward iterative dataflow."""
+    label_pos = {
+        item.name: i for i, item in enumerate(items) if isinstance(item, MLabel)
+    }
+    n = len(items)
+    succs = [_successors(items, i, label_pos) for i in range(n)]
+    uses = []
+    defs = []
+    for item in items:
+        if isinstance(item, (MInst, MCallSeq)):
+            uses.append(set(item.uses()))
+            defs.append(set(item.defs()))
+        else:
+            uses.append(set())
+            defs.append(set())
+
+    live_in = [set() for _ in range(n)]
+    live_out = [set() for _ in range(n)]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n - 1, -1, -1):
+            out = set()
+            for s in succs[i]:
+                out |= live_in[s]
+            new_in = uses[i] | (out - defs[i])
+            if out != live_out[i] or new_in != live_in[i]:
+                live_out[i] = out
+                live_in[i] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def _intervals(items, live_in, live_out):
+    intervals: dict[int, list[int]] = {}
+
+    def touch(vreg, pos):
+        interval = intervals.get(vreg)
+        if interval is None:
+            intervals[vreg] = [pos, pos]
+        else:
+            if pos < interval[0]:
+                interval[0] = pos
+            if pos > interval[1]:
+                interval[1] = pos
+
+    for i, item in enumerate(items):
+        if isinstance(item, (MInst, MCallSeq)):
+            for v in item.uses():
+                touch(v, i)
+            for v in item.defs():
+                touch(v, i)
+        for v in live_in[i]:
+            touch(v, i)
+        for v in live_out[i]:
+            touch(v, i)
+    return intervals
+
+
+def allocate_function(items: list, reserve_tag_register: bool = False) -> AllocatedCode:
+    """Allocate registers and produce final function-relative code."""
+    pool = tuple(r for r in POOL_FULL if not (reserve_tag_register and r == REG_TAG))
+
+    live_in, live_out = _liveness(items)
+    intervals = _intervals(items, live_in, live_out)
+    call_positions = [
+        i for i, item in enumerate(items) if isinstance(item, MCallSeq)
+    ]
+
+    stats = AllocationStats(vregs=len(intervals))
+
+    # values live across a call are spilled (everything is caller-saved)
+    spilled: set[int] = set()
+    for vreg, (start, end) in intervals.items():
+        if any(start < pos < end for pos in call_positions):
+            spilled.add(vreg)
+            stats.call_crossings += 1
+
+    # linear scan over the remaining intervals
+    order = sorted(
+        (v for v in intervals if v not in spilled), key=lambda v: intervals[v][0]
+    )
+    assignment: dict[int, tuple[str, int]] = {}
+    active: list[int] = []  # vregs currently holding a register
+    free = list(pool)
+    for vreg in order:
+        start, end = intervals[vreg]
+        for other in list(active):
+            if intervals[other][1] < start:
+                active.remove(other)
+                free.append(assignment[other][1])
+        if free:
+            reg = free.pop()
+            assignment[vreg] = ("reg", reg)
+            active.append(vreg)
+        else:
+            victim = max(active, key=lambda v: intervals[v][1])
+            if intervals[victim][1] > end:
+                assignment[vreg] = assignment[victim]
+                assignment[victim] = ("spill", 0)
+                spilled.add(victim)
+                active.remove(victim)
+                active.append(vreg)
+            else:
+                assignment[vreg] = ("spill", 0)
+                spilled.add(vreg)
+
+    slot_of: dict[int, int] = {}
+    for vreg in sorted(spilled):
+        slot_of[vreg] = len(slot_of)
+    stats.spilled = len(spilled)
+    stats.spill_slots = len(slot_of)
+
+    def location(vreg):
+        if vreg in slot_of:
+            return ("slot", slot_of[vreg] * 8)
+        kind, reg = assignment[vreg]
+        if kind != "reg":
+            raise BackendError(f"vreg {vreg} has no location")
+        return ("reg", reg)
+
+    frame = len(slot_of) * 8
+
+    # -- rewrite ----------------------------------------------------------
+
+    out: list = []  # mix of MLabel markers and (tuple, ir_id)
+    if frame:
+        out.append(((Opcode.ADDI, REG_SP, REG_SP, -frame), None))
+
+    def read_operand(operand, scratch):
+        """Return a physical register holding ``operand``."""
+        if not is_vreg(operand):
+            return operand  # already physical
+        kind, value = location(operand)
+        if kind == "reg":
+            return value
+        out.append(((Opcode.LOAD, scratch, REG_SP, value), current_ir))
+        return scratch
+
+    for item in items:
+        if isinstance(item, MLabel):
+            out.append(item)
+            continue
+        if isinstance(item, MCallSeq):
+            current_ir = item.ir_id
+            for i, arg in enumerate(item.args):
+                if isinstance(arg, tuple) and arg[0] == "imm":
+                    out.append(((Opcode.MOVI, i, arg[1], 0), current_ir))
+                else:
+                    kind, value = location(arg)
+                    if kind == "reg":
+                        out.append(((Opcode.MOV, i, value, 0), current_ir))
+                    else:
+                        out.append(((Opcode.LOAD, i, REG_SP, value), current_ir))
+            if item.is_kernel:
+                out.append(((Opcode.KCALL, item.target, 0, 0), current_ir))
+            else:
+                out.append((("CALL", item.target), current_ir))
+            if item.dst is not None:
+                kind, value = location(item.dst)
+                if kind == "reg":
+                    out.append(((Opcode.MOV, value, 0, 0), current_ir))
+                else:
+                    out.append(((Opcode.STORE, REG_SP, 0, value), current_ir))
+            continue
+
+        ins = item
+        current_ir = ins.ir_id
+        op = ins.op
+
+        if op == Opcode.RET and frame:
+            out.append(((Opcode.ADDI, REG_SP, REG_SP, frame), current_ir))
+            out.append(((Opcode.RET, 0, 0, 0), current_ir))
+            continue
+
+        if op == Opcode.STORE:
+            base = read_operand(ins.a, SCRATCH_A)
+            value = read_operand(ins.b, SCRATCH_B)
+            out.append(((Opcode.STORE, base, value, ins.c), current_ir))
+            continue
+        if op in (Opcode.BRZ, Opcode.BRNZ):
+            cond = read_operand(ins.a, SCRATCH_A)
+            out.append(((op, cond, ins.b, 0), current_ir))
+            continue
+        if op == Opcode.JMP:
+            out.append(((op, ins.a, 0, 0), current_ir))
+            continue
+        if op in (Opcode.RET, Opcode.NOP, Opcode.HALT):
+            out.append(((op, 0, 0, 0), current_ir))
+            continue
+
+        if op == Opcode.SELECT:
+            cond = read_operand(ins.b, SCRATCH_A)
+            rt_in, rf_in = ins.c
+            # read both candidate values; they may need the second scratch
+            rt = read_operand(rt_in, SCRATCH_B)
+            rf = read_operand(rf_in, SCRATCH_C)
+            dst_kind, dst_value = (
+                location(ins.a) if is_vreg(ins.a) else ("reg", ins.a)
+            )
+            if dst_kind == "reg":
+                out.append(((op, dst_value, cond, (rt, rf)), current_ir))
+            else:
+                out.append(((op, SCRATCH_A, cond, (rt, rf)), current_ir))
+                out.append(((Opcode.STORE, REG_SP, SCRATCH_A, dst_value), current_ir))
+            continue
+
+        # generic forms: a = dst (if register-writing), b/c sources
+        uses_b = is_vreg(ins.b) and op != Opcode.MOVI
+        b = read_operand(ins.b, SCRATCH_A) if uses_b else ins.b
+        c = ins.c
+        if op not in (Opcode.MOVI, Opcode.MOV, Opcode.LOAD, Opcode.ADDI,
+                      Opcode.MULI, Opcode.ANDI, Opcode.SHLI, Opcode.SHRI,
+                      Opcode.XORI, Opcode.CMPEQI, Opcode.CMPNEI, Opcode.CMPLTI,
+                      Opcode.CMPLEI, Opcode.CMPGTI, Opcode.CMPGEI,
+                      Opcode.CVTIF, Opcode.CVTFI):
+            if is_vreg(ins.c):
+                c = read_operand(ins.c, SCRATCH_B)
+
+        if is_vreg(ins.a):
+            dst_kind, dst_value = location(ins.a)
+        else:
+            dst_kind, dst_value = "reg", ins.a
+        if dst_kind == "reg":
+            target = dst_value
+            rewritten = (op, target, b, c)
+            if op == Opcode.MOV and target == b:
+                continue  # coalesced copy
+            out.append((rewritten, current_ir))
+        else:
+            out.append(((op, SCRATCH_A, b, c), current_ir))
+            out.append(((Opcode.STORE, REG_SP, SCRATCH_A, dst_value), current_ir))
+
+    # -- resolve labels to function-relative indices ----------------------
+
+    label_index: dict[str, int] = {}
+    counter = 0
+    for entry in out:
+        if isinstance(entry, MLabel):
+            label_index[entry.name] = counter
+        else:
+            counter += 1
+
+    result = AllocatedCode(stats=stats)
+    for entry in out:
+        if isinstance(entry, MLabel):
+            continue
+        (raw, ir_id) = entry
+        if raw[0] == "CALL":
+            result.call_fixups.append((len(result.code), raw[1]))
+            raw = (Opcode.CALL, 0, 0, 0)
+        else:
+            op = raw[0]
+            if op == Opcode.JMP:
+                raw = (op, label_index[raw[1]], 0, 0)
+            elif op in (Opcode.BRZ, Opcode.BRNZ):
+                raw = (op, raw[1], label_index[raw[2]], 0)
+        if ir_id is not None:
+            result.debug[len(result.code)] = ir_id
+        result.code.append(raw)
+    return result

@@ -1,0 +1,16 @@
+"""Schema, column-store tables, statistics, and the string dictionary."""
+
+from repro.catalog.schema import Column, DataType, Schema
+from repro.catalog.strings import StringDictionary
+from repro.catalog.table import ColumnStats, Table
+from repro.catalog.catalog import Catalog
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "DataType",
+    "Schema",
+    "StringDictionary",
+    "Table",
+]

@@ -1,0 +1,97 @@
+"""The order-preserving string dictionary.
+
+All string data is dictionary-encoded at load time: every distinct string in
+the database gets an integer id assigned in *sorted* order, so comparisons
+and ORDER BY on the ids agree with comparisons on the strings.  This is the
+standard columnar-engine trick, and it is what lets the compiling engine
+evaluate LIKE predicates against the dictionary at *compile* time, turning
+them into integer set membership in generated code.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import CatalogError
+
+
+class StringDictionary:
+    """Two-phase dictionary: collect strings, then freeze in sorted order."""
+
+    def __init__(self):
+        self._pending: set[str] = set()
+        self._id_of: dict[str, int] | None = None
+        self._values: list[str] = []
+
+    @property
+    def frozen(self) -> bool:
+        return self._id_of is not None
+
+    def collect(self, value: str) -> None:
+        if self.frozen:
+            raise CatalogError("string dictionary already frozen")
+        self._pending.add(value)
+
+    def freeze(self) -> None:
+        if self.frozen:
+            raise CatalogError("string dictionary already frozen")
+        self._values = sorted(self._pending)
+        self._id_of = {s: i for i, s in enumerate(self._values)}
+        self._pending.clear()
+
+    def _require_frozen(self) -> dict[str, int]:
+        if self._id_of is None:
+            raise CatalogError("string dictionary not frozen yet")
+        return self._id_of
+
+    def id_of(self, value: str) -> int:
+        """Id for a string known to be in the dictionary."""
+        id_of = self._require_frozen()
+        try:
+            return id_of[value]
+        except KeyError:
+            raise CatalogError(f"string {value!r} not in dictionary") from None
+
+    def lookup(self, value: str) -> int | None:
+        """Id for ``value``, or None when absent (predicate can't match)."""
+        return self._require_frozen().get(value)
+
+    def rank(self, value: str) -> int:
+        """Insertion point of ``value`` in the sorted dictionary.
+
+        Because ids are assigned in sorted order, ``id < rank(v)`` is exactly
+        ``string < v`` — which lets range predicates on strings compile to
+        integer comparisons even for literals absent from the data.
+        """
+        import bisect
+
+        self._require_frozen()
+        return bisect.bisect_left(self._values, value)
+
+    def value_of(self, string_id: int) -> str:
+        self._require_frozen()
+        if not 0 <= string_id < len(self._values):
+            raise CatalogError(f"string id {string_id} out of range")
+        return self._values[string_id]
+
+    def __len__(self) -> int:
+        return len(self._values) if self.frozen else len(self._pending)
+
+    def matching_ids(self, like_pattern: str) -> set[int]:
+        """Ids of all dictionary strings matching a SQL LIKE pattern."""
+        self._require_frozen()
+        regex = like_to_regex(like_pattern)
+        return {i for i, s in enumerate(self._values) if regex.fullmatch(s)}
+
+
+def like_to_regex(pattern: str) -> re.Pattern:
+    """Compile a SQL LIKE pattern (``%``, ``_``) to a regex."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("".join(out), re.DOTALL)

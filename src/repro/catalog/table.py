@@ -1,0 +1,102 @@
+"""Column-store tables and per-column statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CatalogError
+from repro.catalog.schema import DataType, Schema, encode_date, encode_decimal
+from repro.catalog.strings import StringDictionary
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics the optimizer's cardinality model consumes."""
+
+    min_value: int | float | None
+    max_value: int | float | None
+    distinct: int
+
+
+class Table:
+    """An in-memory columnar table.
+
+    Rows are appended with Python-native values (strings as ``str``, dates
+    as ISO text, decimals as floats); :meth:`encode` converts everything to
+    dictionary ids / day ordinals / cents once the database's string
+    dictionary is frozen.
+    """
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self.columns: list[list] = [[] for _ in schema]
+        self.encoded = False
+        self._stats: list[ColumnStats | None] = [None] * len(schema)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def append(self, row: tuple) -> None:
+        if self.encoded:
+            raise CatalogError(f"table {self.name} is already encoded")
+        if len(row) != len(self.schema):
+            raise CatalogError(
+                f"{self.name}: row has {len(row)} values, schema has {len(self.schema)}"
+            )
+        for column, value in zip(self.columns, row):
+            column.append(value)
+
+    def extend(self, rows) -> None:
+        for row in rows:
+            self.append(row)
+
+    def collect_strings(self, dictionary: StringDictionary) -> None:
+        for column_def, column in zip(self.schema, self.columns):
+            if column_def.dtype is DataType.STRING:
+                for value in column:
+                    dictionary.collect(value)
+
+    def encode(self, dictionary: StringDictionary) -> None:
+        """Convert raw values to their 64-bit storage encoding."""
+        if self.encoded:
+            raise CatalogError(f"table {self.name} is already encoded")
+        for i, column_def in enumerate(self.schema):
+            dtype = column_def.dtype
+            raw = self.columns[i]
+            if dtype is DataType.STRING:
+                self.columns[i] = [dictionary.id_of(v) for v in raw]
+            elif dtype is DataType.DATE:
+                self.columns[i] = [
+                    v if isinstance(v, int) else encode_date(v) for v in raw
+                ]
+            elif dtype is DataType.DECIMAL:
+                self.columns[i] = [encode_decimal(v) for v in raw]
+            elif dtype in (DataType.INT, DataType.BOOL):
+                for v in raw:
+                    if not isinstance(v, int):
+                        raise CatalogError(
+                            f"{self.name}.{column_def.name}: non-integer {v!r}"
+                        )
+            elif dtype is DataType.FLOAT:
+                self.columns[i] = [float(v) for v in raw]
+        self.encoded = True
+
+    def column_named(self, name: str) -> list:
+        return self.columns[self.schema.index_of(name)]
+
+    def stats_for(self, column_index: int) -> ColumnStats:
+        """Compute (and cache) statistics for one column."""
+        cached = self._stats[column_index]
+        if cached is not None:
+            return cached
+        if not self.encoded:
+            raise CatalogError(f"stats requested before encoding {self.name}")
+        column = self.columns[column_index]
+        if column:
+            stats = ColumnStats(min(column), max(column), len(set(column)))
+        else:
+            stats = ColumnStats(None, None, 0)
+        self._stats[column_index] = stats
+        return stats

@@ -1,0 +1,25 @@
+"""Lowering step 2: pipelines of tasks to SSA IR (produce/consume codegen).
+
+This package is the code-generation engine of the dataflow system and the
+place where Tailored Profiling hooks in: the task Abstraction Tracker is
+active while each task generates IR, the builder's emission funnel populates
+Tagging Dictionary Log B, and calls into the pre-compiled runtime are
+wrapped in Register Tagging (IR ``settag``).
+"""
+
+from repro.codegen.querygen import CompiledQueryIR, generate_query_ir
+from repro.codegen.runtime import (
+    RUNTIME_FUNCTIONS,
+    SYSLIB_FUNCTIONS,
+    build_runtime_module,
+    build_syslib_module,
+)
+
+__all__ = [
+    "CompiledQueryIR",
+    "RUNTIME_FUNCTIONS",
+    "SYSLIB_FUNCTIONS",
+    "build_runtime_module",
+    "build_syslib_module",
+    "generate_query_ir",
+]

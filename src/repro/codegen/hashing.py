@@ -1,0 +1,21 @@
+"""Hash emission, shaped after the paper's Listing 1 (crc32 mixing)."""
+
+from __future__ import annotations
+
+from repro.ir import IRBuilder
+from repro.ir.nodes import Value
+
+CRC_SEED_A = 5961697176435608501
+CRC_SEED_B = 2231409791114444147
+MIX_CONSTANT = 2685821657736338717
+
+
+def emit_hash(b: IRBuilder, values: list[Value]) -> Value:
+    """Hash one or more key values into a 64-bit mixed hash."""
+    first = values[0]
+    h1 = b.crc32(first, b.const(CRC_SEED_A))
+    h2 = b.crc32(first, b.const(CRC_SEED_B))
+    h = b.xor(h1, b.rotr(h2, b.const(32)))
+    for value in values[1:]:
+        h = b.crc32(h, value)
+    return b.mul(h, b.const(MIX_CONSTANT))

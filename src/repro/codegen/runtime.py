@@ -1,0 +1,166 @@
+"""The pre-compiled runtime library, written in the engine's own IR.
+
+These functions are compiled once per query image into the RUNTIME code
+region and *shared* by every operator instance that calls them — they are
+the paper's "shared source locations" (§4.2.5): a profiling sample inside
+``ht_insert`` cannot be attributed by IP alone, which is exactly what
+Register Tagging (or call-stack sampling) disambiguates.
+
+``memcpy`` is deliberately compiled into the SYSLIB region and excluded
+from the Tagging Dictionary: it models the system libraries the paper did
+not tag, producing Table 2's ~2 % unattributed samples.
+
+Hash-table layout (all offsets in bytes, one word each):
+
+====  ============  =================================================
+0     dir           pointer to the power-of-two directory
+8     mask          directory slot mask
+16    entry_words   words per entry (next, hash, keys..., payload...)
+24    count         number of inserted entries
+32    next_free     bump pointer into the current entry chunk
+40    end           end of the current entry chunk
+====  ============  =================================================
+
+Entries: ``[next][hash][key...][payload...]``.
+
+Buffer layout: ``[data][count][capacity][row_words]``.
+"""
+
+from __future__ import annotations
+
+from repro.ir import IRBuilder, Module, Type
+from repro.vm.kernel import K_ALLOC
+
+HT_DIR = 0
+HT_MASK = 8
+HT_ENTRY_WORDS = 16
+HT_COUNT = 24
+HT_NEXT_FREE = 32
+HT_END = 40
+HT_HEADER_WORDS = 6
+
+ENTRY_NEXT = 0
+ENTRY_HASH = 8
+ENTRY_DATA = 16  # first key field
+
+BUF_DATA = 0
+BUF_COUNT = 8
+BUF_CAP = 16
+BUF_ROW_WORDS = 24
+BUF_HEADER_WORDS = 4
+
+GROW_ENTRIES = 1024  # entries added per hash-table chunk growth
+
+RUNTIME_FUNCTIONS = ("ht_insert", "buffer_grow")
+SYSLIB_FUNCTIONS = ("memcpy",)
+
+
+def build_syslib_module() -> Module:
+    """``memcpy(dst, src, words) -> dst`` — the untagged system library."""
+    module = Module("syslib")
+    fn = module.new_function(
+        "memcpy",
+        [("dst", Type.PTR), ("src", Type.PTR), ("words", Type.I64)],
+        Type.PTR,
+    )
+    b = IRBuilder(fn)
+    dst, src, words = fn.params
+    entry = b.block("entry")
+    loop = b.block("loop")
+    body = b.block("body")
+    done = b.block("done")
+    b.set_block(entry)
+    b.br(loop)
+    b.set_block(loop)
+    i = b.phi(Type.I64)
+    b.add_incoming(i, b.const(0), entry)
+    finished = b.cmp("cmpge", i, words)
+    b.condbr(finished, done, body)
+    b.set_block(body)
+    value = b.load(b.gep(src, i, scale=8))
+    b.store(b.gep(dst, i, scale=8), value)
+    next_i = b.add(i, b.const(1))
+    b.add_incoming(i, next_i, body)
+    b.br(loop)
+    b.set_block(done)
+    b.ret(dst)
+    return module
+
+
+def build_runtime_module() -> Module:
+    """Build ``ht_insert`` and ``buffer_grow``."""
+    module = Module("runtime")
+    _build_ht_insert(module)
+    _build_buffer_grow(module)
+    return module
+
+
+def _build_ht_insert(module: Module) -> None:
+    """``ht_insert(ht, hash) -> entry``: allocate an entry (growing the
+
+    chunk through the kernel when exhausted), link it into the bucket chain,
+    and store the hash; the *caller* fills keys and payload inline."""
+    fn = module.new_function(
+        "ht_insert", [("ht", Type.PTR), ("hash", Type.I64)], Type.PTR
+    )
+    b = IRBuilder(fn)
+    ht, hash_value = fn.params
+    entry_block = b.block("entry")
+    grow = b.block("grow")
+    have = b.block("have")
+
+    b.set_block(entry_block)
+    free = b.load(b.gep(ht, None, offset=HT_NEXT_FREE), Type.PTR, comment="next_free")
+    end = b.load(b.gep(ht, None, offset=HT_END), Type.PTR)
+    fits = b.cmp("cmplt", free, end)
+    b.condbr(fits, have, grow)
+
+    b.set_block(grow)
+    entry_words = b.load(b.gep(ht, None, offset=HT_ENTRY_WORDS))
+    chunk_bytes = b.mul(entry_words, b.const(8 * GROW_ENTRIES))
+    fresh = b.kcall(K_ALLOC, [chunk_bytes], Type.PTR)
+    new_end = b.add(fresh, chunk_bytes)
+    b.store(b.gep(ht, None, offset=HT_END), new_end)
+    b.br(have)
+
+    b.set_block(have)
+    slot = b.phi(Type.PTR)
+    b.add_incoming(slot, free, entry_block)
+    b.add_incoming(slot, fresh, grow)
+    words = b.load(b.gep(ht, None, offset=HT_ENTRY_WORDS))
+    entry_bytes = b.shl(words, b.const(3))
+    next_free = b.add(slot, entry_bytes)
+    b.store(b.gep(ht, None, offset=HT_NEXT_FREE), next_free)
+
+    directory = b.load(b.gep(ht, None, offset=HT_DIR), Type.PTR, comment="directory")
+    mask = b.load(b.gep(ht, None, offset=HT_MASK))
+    bucket = b.and_(hash_value, mask)
+    bucket_addr = b.gep(directory, bucket, scale=8)
+    head = b.load(bucket_addr, Type.PTR, comment="chain head")
+    b.store(b.gep(slot, None, offset=ENTRY_NEXT), head)
+    b.store(b.gep(slot, None, offset=ENTRY_HASH), hash_value)
+    b.store(bucket_addr, slot)
+    count = b.load(b.gep(ht, None, offset=HT_COUNT))
+    b.store(b.gep(ht, None, offset=HT_COUNT), b.add(count, b.const(1)))
+    b.ret(slot)
+
+
+def _build_buffer_grow(module: Module) -> None:
+    """``buffer_grow(buf) -> data``: double capacity, memcpy rows over."""
+    fn = module.new_function("buffer_grow", [("buf", Type.PTR)], Type.PTR)
+    b = IRBuilder(fn)
+    (buf,) = fn.params
+    b.set_block(b.block("entry"))
+    capacity = b.load(b.gep(buf, None, offset=BUF_CAP))
+    row_words = b.load(b.gep(buf, None, offset=BUF_ROW_WORDS))
+    count = b.load(b.gep(buf, None, offset=BUF_COUNT))
+    new_capacity = b.mul(capacity, b.const(2))
+    total_words = b.mul(new_capacity, row_words)
+    total_bytes = b.shl(total_words, b.const(3))
+    fresh = b.kcall(K_ALLOC, [total_bytes], Type.PTR)
+    old = b.load(b.gep(buf, None, offset=BUF_DATA), Type.PTR)
+    used_words = b.mul(count, row_words)
+    b.call("memcpy", [fresh, old, used_words], Type.PTR)
+    b.store(b.gep(buf, None, offset=BUF_DATA), fresh)
+    b.store(b.gep(buf, None, offset=BUF_CAP), new_capacity)
+    b.ret(fresh)

@@ -1,0 +1,7 @@
+"""Workloads: the TPC-H-like generator, the paper's intro example, and the
+adapted 22-query suite."""
+
+from repro.data.tpch import TPCH_TABLE_NAMES, generate_tpch
+from repro.data.example import generate_example
+
+__all__ = ["TPCH_TABLE_NAMES", "generate_example", "generate_tpch"]

@@ -1,0 +1,612 @@
+"""The database engine façade: Umbra-in-miniature plus Tailored Profiling.
+
+``Database`` owns the catalog, the simulated memory holding all column
+data, and the compilation stack.  ``execute`` compiles SQL through all
+lowering steps and runs it on the simulated machine; ``profile`` does the
+same with the PMU armed and returns a :class:`~repro.profiling.profile.Profile`
+whose reports are the paper's deliverables.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+
+from repro.backend import BackendOptions, compile_module
+from repro.catalog import Catalog, Schema
+from repro.catalog.schema import DataType, decode_date
+from repro.codegen import (
+    build_runtime_module,
+    build_syslib_module,
+    generate_query_ir,
+)
+from repro.data import generate_example, generate_tpch
+from repro.errors import ReproError
+from repro.pipeline import decompose
+from repro.plan.interpret import Interpreter
+from repro.plan.physical import (
+    PhysicalOutput,
+    PlannerOptions,
+    explain_physical,
+    plan_physical,
+)
+from repro.profiling.postprocess import SampleProcessor
+from repro.profiling.profile import Profile
+from repro.profiling.tagging import TaggingDictionary
+from repro.sql import parse
+from repro.sql.ast import _rewrite_ast_children
+from repro.sql.binder import Binder
+from repro.vm import CodeRegion, Machine, Memory, Program
+from repro.vm.kernel import Kernel, install_kernel_stubs
+from repro.vm import costs
+from repro.vm.pmu import Event, PmuConfig
+
+_YEAR_TABLE_LO = datetime.date(1970, 1, 1).toordinal()
+_YEAR_TABLE_HI = datetime.date(2100, 1, 1).toordinal()
+
+
+class ProfilingMode(enum.Enum):
+    """How shared source locations are disambiguated (§4.2.5)."""
+
+    REGISTER_TAGGING = "register-tagging"
+    CALLSTACK = "callstack"
+    NONE = "none"  # plain sampling: IP + timestamp only
+
+
+@dataclass(frozen=True)
+class ProfilerConfig:
+    """Engine-level profiling configuration.
+
+    ``crosscheck`` records registers *and* call stacks in every sample so
+    the two disambiguation mechanisms can be compared sample-by-sample —
+    the paper's §6.3 accuracy validation.
+    """
+
+    mode: ProfilingMode = ProfilingMode.REGISTER_TAGGING
+    event: Event = Event.CYCLES
+    period: int = costs.DEFAULT_PERIOD_CYCLES
+    record_memaddr: bool = False
+    crosscheck: bool = False
+
+    def pmu_config(self) -> PmuConfig:
+        register = self.mode is ProfilingMode.REGISTER_TAGGING or self.crosscheck
+        callstack = self.mode is ProfilingMode.CALLSTACK or self.crosscheck
+        return PmuConfig(
+            event=self.event,
+            period=self.period,
+            record_registers=register,
+            record_callstack=callstack,
+            record_memaddr=self.record_memaddr,
+        )
+
+
+@dataclass
+class QueryResult:
+    """Decoded rows plus execution statistics."""
+
+    columns: list[str]
+    rows: list[tuple]
+    cycles: int
+    instructions: int
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+
+class _QueryEnvironment:
+    """Per-query :class:`DataEnvironment`: DB segments + query-local state."""
+
+    def __init__(self, database: "Database", kernel: Kernel):
+        self._db = database
+        self._kernel = kernel
+        self._bitmaps: dict[frozenset, tuple[int, int]] = {}
+
+    def column_address(self, table_name: str, column_name: str) -> int:
+        return self._db._column_addresses[(table_name, column_name)]
+
+    def row_count(self, table_name: str) -> int:
+        return self._db.catalog.table(table_name).row_count
+
+    def bitmap(self, values: frozenset) -> tuple[int, int]:
+        cached = self._bitmaps.get(values)
+        if cached is not None:
+            return cached
+        limit = max(values) + 1
+        words = (limit + 63) // 64
+        addr = self._db.memory.alloc(words * 8, "bitmap")
+        base = addr // 8
+        for value in values:
+            self._db.memory.words[base + (value >> 6)] |= 1 << (value & 63)
+        self._bitmaps[values] = (addr, limit)
+        return addr, limit
+
+    def year_table(self) -> tuple[int, int]:
+        return self._db._year_table_addr, _YEAR_TABLE_LO
+
+    def register_sort(self, descriptor) -> int:
+        return self._kernel.register_sort(descriptor)
+
+
+class Database:
+    """A single-node, in-memory, compiling relational database."""
+
+    def __init__(self, memory_bytes: int = 1 << 22):
+        self.catalog = Catalog()
+        self.memory = Memory(memory_bytes)
+        self._column_addresses: dict[tuple[str, str], int] = {}
+        self._year_table_addr = 0
+        self._ready = False
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def tpch(cls, scale: float = 0.001, seed: int = 42) -> "Database":
+        db = cls(memory_bytes=1 << 24)
+        generate_tpch(db.catalog, scale=scale, seed=seed)
+        db.finalize()
+        return db
+
+    @classmethod
+    def example(cls, n_sales: int = 5000, n_products: int = 200) -> "Database":
+        db = cls()
+        generate_example(db.catalog, n_sales=n_sales, n_products=n_products)
+        db.finalize()
+        return db
+
+    def create_table(self, name: str, schema: Schema):
+        return self.catalog.create_table(name, schema)
+
+    def finalize(self) -> None:
+        """Freeze the dictionary, encode tables, load columns into memory."""
+        self.catalog.finalize()
+        for table in self.catalog.tables.values():
+            for column_def, column in zip(table.schema, table.columns):
+                addr = self.memory.alloc(
+                    max(8, len(column) * 8), f"{table.name}.{column_def.name}"
+                )
+                base = addr // 8
+                self.memory.words[base : base + len(column)] = list(column)
+                self._column_addresses[(table.name, column_def.name)] = addr
+        self._build_year_table()
+        self._ready = True
+
+    def _build_year_table(self) -> None:
+        entries = _YEAR_TABLE_HI - _YEAR_TABLE_LO
+        addr = self.memory.alloc(entries * 8, "year_table")
+        base = addr // 8
+        year = 1970
+        next_boundary = datetime.date(year + 1, 1, 1).toordinal()
+        for i in range(entries):
+            ordinal = _YEAR_TABLE_LO + i
+            if ordinal >= next_boundary:
+                year += 1
+                next_boundary = datetime.date(year + 1, 1, 1).toordinal()
+            self.memory.words[base + i] = year
+        self._year_table_addr = addr
+
+    # -- planning helpers ------------------------------------------------------
+
+    def _plan(
+        self,
+        sql: str,
+        join_order_hint: list[str] | None = None,
+        planner_options: PlannerOptions | None = None,
+    ):
+        if not self._ready:
+            raise ReproError("database not finalized; call finalize() first")
+        stmt = parse(sql)
+        self._inline_scalar_subqueries(stmt)
+        bound = Binder(self.catalog).bind(stmt, join_order_hint)
+        physical = plan_physical(bound.plan, bound.model, planner_options)
+        return bound, physical
+
+    def _inline_scalar_subqueries(self, stmt, depth: int = 0) -> None:
+        """Evaluate uncorrelated scalar subqueries and inline their values.
+
+        The classic strategy for uncorrelated scalar subqueries: run them
+        first (through the full compiled pipeline), then substitute the
+        single value as a literal.  Nested scalar subqueries recurse.
+        """
+        from repro.sql import ast as sql_ast
+
+        if depth > 8:
+            raise ReproError("scalar subqueries nested too deeply")
+
+        def rewrite(node):
+            if isinstance(node, sql_ast.ScalarSubquery):
+                return sql_ast_literal(self._evaluate_scalar(node.subquery, depth))
+            if isinstance(node, (sql_ast.Exists, sql_ast.InSubquery)):
+                self._inline_scalar_subqueries(node.subquery, depth + 1)
+                return node
+            return _rewrite_ast_children(node, rewrite)
+
+        def sql_ast_literal(value):
+            if isinstance(value, bool):
+                return sql_ast.NumberLit(int(value))
+            if isinstance(value, (int, float)):
+                return sql_ast.NumberLit(value)
+            if isinstance(value, str):
+                # dates decode to ISO text; tell them apart from strings
+                import re
+
+                if re.fullmatch(r"\d{4}-\d{2}-\d{2}", value):
+                    return sql_ast.DateLit(value)
+                return sql_ast.StringLit(value)
+            raise ReproError(f"cannot inline scalar value {value!r}")
+
+        for ref in stmt.tables:
+            if ref.subquery is not None:
+                self._inline_scalar_subqueries(ref.subquery, depth + 1)
+        for item in stmt.items:
+            object.__setattr__(item, "expr", rewrite(item.expr))
+        if stmt.where is not None:
+            stmt.where = rewrite(stmt.where)
+        stmt.group_by = [rewrite(node) for node in stmt.group_by]
+        if stmt.having is not None:
+            stmt.having = rewrite(stmt.having)
+        for order in stmt.order_by:
+            object.__setattr__(order, "expr", rewrite(order.expr))
+
+    def _evaluate_scalar(self, substmt, depth: int):
+        from repro.sql.binder import Binder
+
+        self._inline_scalar_subqueries(substmt, depth + 1)
+        bound = Binder(self.catalog).bind(substmt)
+        physical = plan_physical(bound.plan, bound.model)
+        (*_, machines, _t, _c, _r, _s, rows) = self._compile_and_run(
+            "", None, prebuilt=(bound, physical)
+        )[4:]
+        if len(rows) != 1 or len(rows[0]) != 1:
+            raise ReproError(
+                "a scalar subquery must return exactly one value "
+                f"(got {len(rows)} rows)"
+            )
+        return rows[0][0]
+
+    def _physical_estimates(
+        self, bound, physical: PhysicalOutput
+    ) -> dict[int, float]:
+        logical_by_id = {node.op_id: node for node in bound.plan.walk()}
+        estimates: dict[int, float] = {}
+        for op in physical.walk():
+            logical = logical_by_id.get(op.logical_id)
+            if logical is not None:
+                estimates[op.op_id] = bound.model.estimate(logical)
+        return estimates
+
+    # -- compilation + execution ------------------------------------------------
+
+    def _compile_and_run(
+        self,
+        sql: str,
+        profiler: ProfilerConfig | None,
+        join_order_hint: list[str] | None = None,
+        planner_options: PlannerOptions | None = None,
+        workers: int = 1,
+        morsel_size: int = 1024,
+        optimize_backend: bool = True,
+        repeats: int = 1,
+        prebuilt=None,
+    ):
+        if workers < 1:
+            raise ReproError("workers must be >= 1")
+        if repeats < 1:
+            raise ReproError("repeats must be >= 1")
+        if prebuilt is not None:
+            # a frontend other than SQL (e.g. the streaming DSL) built the
+            # plan itself: (model, physical root)
+            bound, physical = prebuilt
+        else:
+            bound, physical = self._plan(sql, join_order_hint, planner_options)
+        mark = self.memory.mark()
+        try:
+            tagging = TaggingDictionary()
+            pipelines = decompose(physical, on_task=tagging.register_task)
+
+            program = Program()
+            kernel = Kernel(self.memory, install_kernel_stubs(program))
+            env = _QueryEnvironment(self, kernel)
+
+            estimates = self._physical_estimates(bound, physical)
+            query_ir = generate_query_ir(
+                physical, pipelines, env, tagging, estimates
+            )
+
+            reserve = (
+                profiler is not None
+                and profiler.mode is ProfilingMode.REGISTER_TAGGING
+            )
+            options = BackendOptions(
+                reserve_tag_register=reserve, optimize=optimize_backend
+            )
+
+            syslib = compile_module(
+                build_syslib_module(), program, CodeRegion.SYSLIB, options
+            )
+            runtime_module = build_runtime_module()
+            for fn in runtime_module.functions:
+                for instr in fn.all_instructions():
+                    tagging.link_runtime_instruction(instr.id, fn.name)
+            runtime = compile_module(
+                runtime_module, program, CodeRegion.RUNTIME, options
+            )
+            query = compile_module(
+                query_ir.module, program, CodeRegion.QUERY, options
+            )
+            for compiled in (*runtime.values(), *query.values()):
+                tagging.apply_optimizations(compiled.opt_result)
+
+            pmu = profiler.pmu_config() if profiler is not None else None
+            machines = [
+                Machine(program, self.memory, pmu_config=pmu, kernel=kernel)
+                for _ in range(workers)
+            ]
+            state_addr = self.memory.alloc(query_ir.state.size_bytes, "query_state")
+
+            output: list[tuple] = []
+            for _iteration in range(repeats):
+                # iterative dataflow (§4.2.6): the same compiled pipelines
+                # run again; per-iteration state is rebuilt by query_setup
+                self._zero_state(state_addr, query_ir.state.size_bytes)
+                output = self._run_pipelines(
+                    machines, query, query_ir, pipelines, state_addr, morsel_size
+                )
+            rows = [self._decode_row(raw, physical.columns) for raw in output]
+            return bound, physical, pipelines, query_ir, program, machines, \
+                tagging, query, runtime, syslib, rows
+        finally:
+            self.memory.release(mark)
+
+    def _run_pipelines(
+        self, machines, query, query_ir, pipelines, state_addr, morsel_size
+    ) -> list[tuple]:
+        """Morsel-driven execution (§5: Umbra's multicore execution model).
+
+        Each pipeline's tuple domain is split into morsels; every morsel is
+        dispatched to the worker with the smallest simulated clock (greedy
+        least-loaded scheduling).  Pipelines end with a barrier: all worker
+        clocks advance to the pipeline's maximum, as real workers would wait.
+        Workers execute serially in the host process, so shared hash tables
+        need no synchronization; contention is not modeled (see DESIGN.md).
+        """
+        from repro.codegen.runtime import BUF_COUNT
+
+        machines[0].call(query["query_setup"].info.start, (state_addr,))
+        self._barrier(machines)
+
+        collected: list[tuple] = []
+        for pipeline in pipelines:
+            prepare_name = f"pipeline_{pipeline.index}_prepare"
+            if prepare_name in query:
+                machines[0].call(query[prepare_name].info.start, (state_addr,))
+                self._barrier(machines)
+
+            entry = query[f"pipeline_{pipeline.index}"].info.start
+            domain = query_ir.meta.pipeline_domains.get(pipeline.index)
+            total = self._domain_total(domain, state_addr)
+
+            if len(machines) == 1:
+                machine = machines[0]
+                before = len(machine.output)
+                machine.call(entry, (state_addr, 0, total))
+                collected.extend(machine.output[before:])
+                continue
+
+            morsel_outputs: list[tuple[int, list[tuple]]] = []
+            for morsel_index, lo in enumerate(range(0, total, morsel_size)):
+                hi = min(total, lo + morsel_size)
+                machine = min(machines, key=lambda m: m.state.cycles)
+                before = len(machine.output)
+                machine.call(entry, (state_addr, lo, hi))
+                morsel_outputs.append(
+                    (morsel_index, machine.output[before:])
+                )
+            self._barrier(machines)
+            for _, rows in sorted(morsel_outputs, key=lambda mo: mo[0]):
+                collected.extend(rows)
+        return collected
+
+    def _zero_state(self, state_addr: int, size_bytes: int) -> None:
+        first = state_addr // 8
+        for i in range(first, first + size_bytes // 8):
+            self.memory.words[i] = 0
+
+    @staticmethod
+    def _barrier(machines) -> None:
+        """Workers wait for the slowest: align all clocks to the maximum."""
+        latest = max(m.state.cycles for m in machines)
+        for machine in machines:
+            machine.state.cycles = latest
+
+    def _domain_total(self, domain, state_addr: int) -> int:
+        from repro.codegen.runtime import BUF_COUNT
+
+        if domain is None:
+            raise ReproError("pipeline without a morsel domain")
+        kind = domain[0]
+        if kind in ("rows", "slots"):
+            return domain[1]
+        if kind == "buffer":
+            _, state_offset, limit = domain
+            count = self.memory.read(state_addr + state_offset + BUF_COUNT)
+            return count if limit is None else min(count, limit)
+        raise ReproError(f"unknown pipeline domain {domain!r}")
+
+    def _decode_row(self, raw: tuple, columns) -> tuple:
+        out = []
+        for value, (_, iu) in zip(raw, columns):
+            out.append(self._decode_value(value, iu.dtype))
+        return tuple(out)
+
+    def _decode_value(self, value, dtype: DataType):
+        if dtype is DataType.DECIMAL:
+            return value / 100
+        if dtype is DataType.DATE:
+            return decode_date(value)
+        if dtype is DataType.STRING:
+            return self.catalog.dictionary.value_of(value)
+        if dtype is DataType.BOOL:
+            return bool(value)
+        return value
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        join_order_hint: list[str] | None = None,
+        planner_options: PlannerOptions | None = None,
+        workers: int = 1,
+        optimize_backend: bool = True,
+    ) -> QueryResult:
+        """Compile and run a query; returns decoded rows.
+
+        ``workers > 1`` runs the pipelines morsel-parallel on simulated
+        cores; ``cycles`` is then the slowest worker's clock (wall time).
+        ``optimize_backend=False`` disables constant folding/CSE/DCE (for
+        ablation studies)."""
+        (*_, physical, _p, _q, _prog, machines, _t, _c, _r, _s, rows) = \
+            self._compile_and_run(
+                sql, None, join_order_hint, planner_options, workers=workers,
+                optimize_backend=optimize_backend,
+            )
+        return QueryResult(
+            columns=[name for name, _ in physical.columns],
+            rows=rows,
+            cycles=max(m.state.cycles for m in machines),
+            instructions=sum(m.state.instructions for m in machines),
+        )
+
+    def _build_profile(self, config, compiled_parts) -> Profile:
+        (bound, physical, pipelines, query_ir, program, machines, tagging,
+         query, runtime, syslib, rows) = compiled_parts
+        processor = SampleProcessor(program, tagging)
+        attributions = []
+        for worker_index, machine in enumerate(machines):
+            for sample in machine.samples.samples:
+                attribution = processor.attribute(sample)
+                if worker_index:
+                    import dataclasses
+
+                    attribution = dataclasses.replace(
+                        attribution, worker=worker_index
+                    )
+                attributions.append(attribution)
+        attributions.sort(key=lambda a: a.sample.tsc)
+        return Profile(
+            database=self,
+            config=config,
+            physical=physical,
+            pipelines=pipelines,
+            ir_module=query_ir.module,
+            program=program,
+            machine=machines[0],
+            machines=machines,
+            tagging=tagging,
+            processor=processor,
+            attributions=attributions,
+            result=QueryResult(
+                columns=[name for name, _ in physical.columns],
+                rows=rows,
+                cycles=max(m.state.cycles for m in machines),
+                instructions=sum(m.state.instructions for m in machines),
+            ),
+        )
+
+    def profile(
+        self,
+        sql: str,
+        config: ProfilerConfig | None = None,
+        join_order_hint: list[str] | None = None,
+        planner_options: PlannerOptions | None = None,
+        workers: int = 1,
+        repeats: int = 1,
+    ) -> Profile:
+        """Run a query with the PMU armed; returns a Profile for reports.
+
+        With ``workers > 1`` every simulated core has its own PMU and
+        sample buffer; attributions carry the worker index and the merged
+        sample stream feeds all reports.  ``repeats`` re-runs the compiled
+        pipelines in the same session — the iterative-dataflow case whose
+        iterations post-processing separates by timestamp (§4.2.6)."""
+        config = config or ProfilerConfig()
+        parts = self._compile_and_run(
+            sql, config, join_order_hint, planner_options, workers=workers,
+            repeats=repeats,
+        )
+        return self._build_profile(config, parts)
+
+    # -- prebuilt-plan entry points (for non-SQL frontends) -----------------
+
+    def execute_plan(self, bound, physical, workers: int = 1) -> QueryResult:
+        """Run a plan built by a non-SQL frontend (e.g. the streaming DSL).
+
+        ``bound`` must expose ``.plan`` (the logical root) and ``.model``
+        (a CardinalityModel); ``physical`` is the physical root."""
+        (*_, _phys, _p, _q, _prog, machines, _t, _c, _r, _s, rows) = \
+            self._compile_and_run(
+                "", None, prebuilt=(bound, physical), workers=workers
+            )
+        return QueryResult(
+            columns=[name for name, _ in physical.columns],
+            rows=rows,
+            cycles=max(m.state.cycles for m in machines),
+            instructions=sum(m.state.instructions for m in machines),
+        )
+
+    def profile_plan(
+        self,
+        bound,
+        physical,
+        config: ProfilerConfig | None = None,
+        workers: int = 1,
+        repeats: int = 1,
+    ) -> Profile:
+        """Profile a plan built by a non-SQL frontend."""
+        config = config or ProfilerConfig()
+        parts = self._compile_and_run(
+            "", config, prebuilt=(bound, physical), workers=workers,
+            repeats=repeats,
+        )
+        return self._build_profile(config, parts)
+
+    def execute_interpreted(
+        self,
+        sql: str,
+        join_order_hint: list[str] | None = None,
+        planner_options: PlannerOptions | None = None,
+    ) -> QueryResult:
+        """Run a query on the reference interpreter (the testing oracle)."""
+        bound, physical = self._plan(sql, join_order_hint, planner_options)
+        interpreter = Interpreter()
+        raw_rows = interpreter.run(physical)
+        rows = [self._decode_row(raw, physical.columns) for raw in raw_rows]
+        return QueryResult(
+            columns=[name for name, _ in physical.columns],
+            rows=rows,
+            cycles=0,
+            instructions=0,
+        )
+
+    def explain(self, sql: str, join_order_hint: list[str] | None = None) -> str:
+        bound, physical = self._plan(sql, join_order_hint)
+        return explain_physical(physical)
+
+    def explain_analyze(
+        self, sql: str, join_order_hint: list[str] | None = None
+    ) -> str:
+        """Tuple counts per operator — the feature §6.1 contrasts with
+
+        sample-based costs."""
+        bound, physical = self._plan(sql, join_order_hint)
+        interpreter = Interpreter()
+        interpreter.run(physical)
+        annotations = {
+            op_id: f"{count} tuples"
+            for op_id, count in interpreter.tuple_counts.items()
+        }
+        return explain_physical(physical, annotations)

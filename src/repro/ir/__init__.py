@@ -1,0 +1,37 @@
+"""The engine's SSA intermediate representation ("Machine IR" in the paper).
+
+This is the layer Umbra's LLVM IR plays in the original system: pipelines of
+tasks are lowered into tight loops of SSA instructions (operator fusion),
+which the backend then compiles to native machine code.  The Tagging
+Dictionary's Log B links instructions of this layer to pipeline tasks.
+"""
+
+from repro.ir.nodes import (
+    Block,
+    Const,
+    Function,
+    Instr,
+    Module,
+    Param,
+    Type,
+    Value,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_function, print_module
+from repro.ir.verifier import verify_function, verify_module
+
+__all__ = [
+    "Block",
+    "Const",
+    "Function",
+    "IRBuilder",
+    "Instr",
+    "Module",
+    "Param",
+    "Type",
+    "Value",
+    "print_function",
+    "print_module",
+    "verify_function",
+    "verify_module",
+]

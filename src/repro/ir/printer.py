@@ -1,0 +1,75 @@
+"""Textual IR printer, shaped like the paper's Listing 1.
+
+Used for debugging and by the operator developer's annotated-IR report
+(Fig. 6b), which decorates each printed line with sample percentages and the
+owning operator from the Tagging Dictionary.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import Block, Const, Function, Instr, Module, Param, Value
+
+
+def format_value(value: Value) -> str:
+    if isinstance(value, Const):
+        return str(value.value)
+    if isinstance(value, Param):
+        return f"%{value.name}"
+    if isinstance(value, Instr):
+        return f"%{value.id}"
+    return repr(value)
+
+
+def format_instr(instr: Instr) -> str:
+    args = ", ".join(format_value(a) for a in instr.args)
+    if instr.op == "phi":
+        inc = " ".join(f"[{format_value(v)}, %{b.name}]" for v, b in instr.incomings)
+        text = f"%{instr.id} = phi {instr.type.value} {inc}"
+    elif instr.op == "gep":
+        parts = [format_value(instr.args[0])]
+        if len(instr.args) > 1:
+            parts.append(f"{format_value(instr.args[1])} x {instr.scale}")
+        if instr.offset:
+            parts.append(f"+{instr.offset}")
+        text = f"%{instr.id} = gep ptr {', '.join(parts)}"
+    elif instr.op == "load":
+        text = f"%{instr.id} = load {instr.type.value} {args}"
+    elif instr.op == "store":
+        text = f"store {args}"
+    elif instr.op == "br":
+        text = f"br %{instr.targets[0].name}"
+    elif instr.op == "condbr":
+        text = f"condbr {args} %{instr.targets[0].name} %{instr.targets[1].name}"
+    elif instr.op == "ret":
+        text = f"ret {args}" if instr.args else "ret"
+    elif instr.op == "call":
+        text = f"%{instr.id} = call {instr.type.value} @{instr.callee}({args})"
+    elif instr.op == "kcall":
+        text = f"%{instr.id} = kcall {instr.type.value} #{instr.offset}({args})"
+    elif instr.op == "settag":
+        text = f"%{instr.id} = settag {args}"
+    elif instr.op in ("sitofp", "fptosi", "select", "nop"):
+        text = f"%{instr.id} = {instr.op} {args}" if instr.args else instr.op
+    else:
+        text = f"%{instr.id} = {instr.op} {instr.type.value} {args}"
+    if instr.comment:
+        text += f" ; {instr.comment}"
+    return text
+
+
+def print_block(block: Block) -> str:
+    lines = [f"{block.name}:"]
+    lines.extend(f"  {format_instr(instr)}" for instr in block.instructions)
+    return "\n".join(lines)
+
+
+def print_function(function: Function) -> str:
+    params = ", ".join(f"{p.type.value} %{p.name}" for p in function.params)
+    lines = [f"define {function.return_type.value} @{function.name}({params}) {{"]
+    lines.extend(print_block(block) for block in function.blocks)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    return "\n\n".join(print_function(f) for f in module.functions)

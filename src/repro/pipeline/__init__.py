@@ -1,0 +1,6 @@
+"""Lowering step 1: the physical plan becomes pipelines of tasks (Fig. 8b)."""
+
+from repro.pipeline.tasks import Pipeline, Task
+from repro.pipeline.pipeliner import decompose
+
+__all__ = ["Pipeline", "Task", "decompose"]

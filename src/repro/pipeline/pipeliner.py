@@ -1,0 +1,84 @@
+"""Splitting the physical plan at materialization points (§5.1).
+
+Mirrors Umbra: the dataflow graph is split at tuple materialization points
+— hash-join builds, group-by hash tables, sort buffers — yielding pipelines
+whose tasks are registered here.  Task registration is one of the funnel
+points the Abstraction Trackers hook (the ``on_task`` callback).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import PlanError
+from repro.pipeline.tasks import Pipeline, Task
+from repro.plan.physical import (
+    PhysicalSemiJoin,
+    PhysicalGroupBy,
+    PhysicalGroupJoin,
+    PhysicalHashJoin,
+    PhysicalLimit,
+    PhysicalMap,
+    PhysicalOperator,
+    PhysicalOutput,
+    PhysicalScan,
+    PhysicalSelect,
+    PhysicalSort,
+)
+
+
+def decompose(
+    root: PhysicalOutput,
+    on_task: Callable[[Task], None] | None = None,
+) -> list[Pipeline]:
+    """Return the query's pipelines in execution order."""
+    pipelines: list[Pipeline] = []
+
+    def new_task(operator: PhysicalOperator, role: str) -> Task:
+        task = Task(operator, role)
+        if on_task is not None:
+            on_task(task)
+        return task
+
+    def finish(tasks: list[Task]) -> None:
+        pipelines.append(Pipeline(len(pipelines), tasks))
+
+    def visit(op: PhysicalOperator) -> list[Task]:
+        """Return the open task list of the pipeline producing op's tuples."""
+        if isinstance(op, PhysicalScan):
+            return [new_task(op, "scan")]
+        if isinstance(op, PhysicalSelect):
+            return visit(op.child) + [new_task(op, "filter")]
+        if isinstance(op, PhysicalMap):
+            return visit(op.child) + [new_task(op, "map")]
+        if isinstance(op, PhysicalHashJoin):
+            build_tasks = visit(op.build)
+            finish(build_tasks + [new_task(op, "build")])
+            return visit(op.probe) + [new_task(op, "probe")]
+        if isinstance(op, PhysicalSemiJoin):
+            build_tasks = visit(op.build)
+            finish(build_tasks + [new_task(op, "semi-build")])
+            return visit(op.probe) + [new_task(op, "semi-probe")]
+        if isinstance(op, PhysicalGroupBy):
+            child_tasks = visit(op.child)
+            finish(child_tasks + [new_task(op, "materialize")])
+            return [new_task(op, "aggregate")]
+        if isinstance(op, PhysicalGroupJoin):
+            build_tasks = visit(op.build)
+            finish(build_tasks + [new_task(op, "groupjoin-join build")])
+            probe_tasks = visit(op.probe)
+            finish(probe_tasks + [new_task(op, "groupjoin-groupby probe")])
+            return [new_task(op, "groupjoin-groupby output")]
+        if isinstance(op, PhysicalSort):
+            child_tasks = visit(op.child)
+            finish(child_tasks + [new_task(op, "materialize")])
+            return [new_task(op, "output-scan")]
+        if isinstance(op, PhysicalLimit):
+            return visit(op.child) + [new_task(op, "limit")]
+        raise PlanError(f"cannot pipeline {type(op).__name__}")
+
+    if not isinstance(root, PhysicalOutput):
+        raise PlanError("pipeline decomposition expects an output root")
+    final = visit(root.child) + [new_task(root, "output")]
+    finish(final)
+    return pipelines

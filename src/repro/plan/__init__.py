@@ -1,0 +1,55 @@
+"""Logical and physical query plans — the paper's "dataflow graph" level.
+
+The plan of relational operators is the topmost abstraction level the
+Tagging Dictionary maps back to; it is what the domain expert sees in the
+annotated-plan report (Fig. 9).
+"""
+
+from repro.plan.expr import (
+    IU,
+    AggCall,
+    BinaryExpr,
+    CaseExpr,
+    CompareExpr,
+    ConstExpr,
+    Expr,
+    FuncExpr,
+    IURef,
+    InSetExpr,
+    LogicalExpr,
+    NotExpr,
+)
+from repro.plan.logical import (
+    LogicalFilter,
+    LogicalGroupBy,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalMap,
+    LogicalOperator,
+    LogicalOutput,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.plan.physical import (
+    PhysicalGroupBy,
+    PhysicalGroupJoin,
+    PhysicalHashJoin,
+    PhysicalLimit,
+    PhysicalMap,
+    PhysicalOperator,
+    PhysicalOutput,
+    PhysicalScan,
+    PhysicalSelect,
+    PhysicalSort,
+)
+
+__all__ = [
+    "IU", "AggCall", "BinaryExpr", "CaseExpr", "CompareExpr", "ConstExpr",
+    "Expr", "FuncExpr", "IURef", "InSetExpr", "LogicalExpr", "NotExpr",
+    "LogicalFilter", "LogicalGroupBy", "LogicalJoin", "LogicalLimit",
+    "LogicalMap", "LogicalOperator", "LogicalOutput", "LogicalScan",
+    "LogicalSort",
+    "PhysicalGroupBy", "PhysicalGroupJoin", "PhysicalHashJoin",
+    "PhysicalLimit", "PhysicalMap", "PhysicalOperator", "PhysicalOutput",
+    "PhysicalScan", "PhysicalSelect", "PhysicalSort",
+]

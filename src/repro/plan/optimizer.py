@@ -1,0 +1,156 @@
+"""Join ordering and plan construction from a query graph.
+
+The binder decomposes WHERE into a :class:`QueryGraph` — relations (scans
+with pushed-down filters), equi-join edges, and residual predicates — and
+this module picks a join order: greedy operator ordering (GOO), always
+joining the connected pair with the smallest estimated result.  A
+``join_order_hint`` forces a left-deep order by alias, which the
+optimizer-developer use case (Fig. 10) uses to compare two plans the cost
+model cannot distinguish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.plan.cardinality import CardinalityModel
+from repro.plan.expr import Expr, conjunction
+from repro.plan.logical import LogicalFilter, LogicalJoin, LogicalOperator
+
+
+@dataclass
+class JoinEdge:
+    """One equi-join predicate between two relations (by index)."""
+
+    left_rel: int
+    right_rel: int
+    left_expr: Expr
+    right_expr: Expr
+
+
+@dataclass
+class Residual:
+    """A predicate needing IUs from a specific set of relations."""
+
+    relations: frozenset[int]
+    condition: Expr
+
+
+@dataclass
+class QueryGraph:
+    """The optimizer's input: what to join, how, and leftover predicates."""
+
+    relations: list[LogicalOperator] = field(default_factory=list)
+    aliases: list[str] = field(default_factory=list)
+    edges: list[JoinEdge] = field(default_factory=list)
+    residuals: list[Residual] = field(default_factory=list)
+
+
+@dataclass
+class _Component:
+    """A partial join tree covering a set of relations."""
+
+    plan: LogicalOperator
+    relations: frozenset[int]
+
+
+def _combine(
+    component_a: _Component,
+    component_b: _Component,
+    graph: QueryGraph,
+    pending_residuals: list[Residual],
+) -> _Component | None:
+    """Join two components if an edge connects them; apply ready residuals."""
+    left_keys: list[Expr] = []
+    right_keys: list[Expr] = []
+    for edge in graph.edges:
+        if edge.left_rel in component_a.relations and edge.right_rel in component_b.relations:
+            left_keys.append(edge.left_expr)
+            right_keys.append(edge.right_expr)
+        elif edge.right_rel in component_a.relations and edge.left_rel in component_b.relations:
+            left_keys.append(edge.right_expr)
+            right_keys.append(edge.left_expr)
+    if not left_keys:
+        return None
+    combined = component_a.relations | component_b.relations
+    ready = [r for r in pending_residuals if r.relations <= combined]
+    residual = conjunction([r.condition for r in ready])
+    plan: LogicalOperator = LogicalJoin(
+        component_a.plan, component_b.plan, left_keys, right_keys, residual
+    )
+    result = _Component(plan, combined)
+    for r in ready:
+        pending_residuals.remove(r)
+    return result
+
+
+def optimize_join_order(
+    graph: QueryGraph,
+    model: CardinalityModel | None = None,
+    join_order_hint: list[str] | None = None,
+) -> LogicalOperator:
+    """Build the join tree: greedy smallest-result-first, or as hinted."""
+    if not graph.relations:
+        raise PlanError("query graph has no relations")
+    model = model or CardinalityModel()
+    pending = list(graph.residuals)
+    components = [
+        _Component(plan, frozenset([i])) for i, plan in enumerate(graph.relations)
+    ]
+
+    if len(components) == 1:
+        only = components[0]
+        if pending:
+            condition = conjunction([r.condition for r in pending])
+            return LogicalFilter(only.plan, condition)
+        return only.plan
+
+    if join_order_hint is not None:
+        order = []
+        for alias in join_order_hint:
+            try:
+                order.append(graph.aliases.index(alias))
+            except ValueError:
+                raise PlanError(f"hint names unknown relation {alias!r}") from None
+        if sorted(order) != list(range(len(graph.relations))):
+            raise PlanError("join order hint must name every relation exactly once")
+        current = components[order[0]]
+        for index in order[1:]:
+            combined = _combine(current, components[index], graph, pending)
+            if combined is None:
+                raise PlanError(
+                    f"hinted order disconnects at {graph.aliases[index]!r}"
+                )
+            current = combined
+        if pending:
+            raise PlanError("residual predicates left unapplied by hinted order")
+        return current.plan
+
+    while len(components) > 1:
+        best: tuple[float, int, int, _Component] | None = None
+        for i in range(len(components)):
+            for j in range(i + 1, len(components)):
+                candidate = _combine(
+                    components[i], components[j], graph, pending_residuals=[]
+                )
+                if candidate is None:
+                    continue
+                cost = model.estimate(candidate.plan)
+                if best is None or cost < best[0]:
+                    best = (cost, i, j, candidate)
+        if best is None:
+            raise PlanError(
+                "query graph is disconnected (a cross product would be needed)"
+            )
+        _, i, j, _ = best
+        merged = _combine(components[i], components[j], graph, pending)
+        components = [
+            c for k, c in enumerate(components) if k not in (i, j)
+        ] + [merged]
+
+    final = components[0]
+    if pending:
+        condition = conjunction([r.condition for r in pending])
+        return LogicalFilter(final.plan, condition)
+    return final.plan

@@ -1,0 +1,26 @@
+"""Tailored Profiling — the paper's contribution.
+
+- :mod:`repro.profiling.trackers` — Abstraction Trackers (§4.2.4)
+- :mod:`repro.profiling.tagging` — the Tagging Dictionary (§4.2.2)
+- :mod:`repro.profiling.postprocess` — sample attribution (§4.2.6)
+- :mod:`repro.profiling.reports` — tailored reports: annotated plan,
+  annotated IR, operator activity over time, memory-access profiles,
+  iteration detection, plan comparison, per-worker lanes, IPC
+- :mod:`repro.profiling.export` — JSON / folded-stack / perf-script exports
+- :mod:`repro.profiling.session` — persisted sessions for offline
+  post-processing (the paper's §5.2.2 metadata-file flow)
+"""
+
+from repro.profiling.tagging import TaggingDictionary
+from repro.profiling.trackers import AbstractionTracker
+from repro.profiling.postprocess import Attribution, SampleProcessor
+from repro.profiling.session import load_session, save_session
+
+__all__ = [
+    "AbstractionTracker",
+    "Attribution",
+    "SampleProcessor",
+    "TaggingDictionary",
+    "load_session",
+    "save_session",
+]

@@ -1,0 +1,123 @@
+"""Profile export formats.
+
+Tailored Profiling's post-processing consumes raw samples (the paper feeds
+``perf script`` output into it); this module provides the reverse
+direction — machine-readable exports of an attributed profile:
+
+- :func:`to_json` — full structured dump (summary, per-operator costs,
+  per-sample attributions) for external tooling,
+- :func:`folded_stacks` — Brendan-Gregg folded-stack lines
+  (``pipeline;operator;task;location count``), directly consumable by
+  flamegraph renderers; the paper cites flame graphs as prior profiler UI,
+- :func:`perf_script` — a perf-script-like text dump of the raw samples.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.profiling.postprocess import CATEGORY_OPERATOR
+
+
+def to_json(profile, include_samples: bool = True) -> str:
+    """Serialize a profile: config, summary, costs, optional sample list."""
+    summary = profile.attribution_summary()
+    costs = profile.operator_costs()
+    document = {
+        "config": {
+            "mode": profile.config.mode.value,
+            "event": profile.config.event.value,
+            "period": profile.config.period,
+        },
+        "workers": profile.workers,
+        "result": {
+            "columns": profile.result.columns,
+            "row_count": len(profile.result.rows),
+            "cycles": profile.result.cycles,
+            "instructions": profile.result.instructions,
+        },
+        "summary": {
+            "total_samples": summary.total_samples,
+            "operator_share": summary.operator_share,
+            "kernel_share": summary.kernel_share,
+            "unattributed_share": summary.unattributed_share,
+        },
+        "operator_costs": [
+            {"operator": op.label, "kind": op.kind, "share": share}
+            for op, share in sorted(costs.items(), key=lambda kv: -kv[1])
+        ],
+        "tagging_dictionary": {
+            "entries": profile.tagging.entry_count,
+            "bytes": profile.tagging.size_bytes,
+        },
+    }
+    if include_samples:
+        document["samples"] = [
+            {
+                "tsc": a.sample.tsc,
+                "ip": a.sample.ip,
+                "worker": a.worker,
+                "category": a.category,
+                "via": a.via,
+                "operators": [t.operator.label for t in a.tasks],
+                "tasks": [t.label for t in a.tasks],
+                **(
+                    {"memaddr": a.sample.memaddr}
+                    if a.sample.memaddr is not None
+                    else {}
+                ),
+            }
+            for a in profile.attributions
+        ]
+    return json.dumps(document, indent=2)
+
+
+def folded_stacks(profile) -> str:
+    """Folded-stack lines: semicolon-separated frames plus a count.
+
+    Frames, outermost first: pipeline, dataflow operator, task role, and
+    (for shared-location samples) the runtime function — the abstraction
+    hierarchy itself becomes the stack.
+    """
+    pipeline_of_task = {}
+    for pipeline in profile.pipelines:
+        for task in pipeline.tasks:
+            pipeline_of_task[task.id] = pipeline.index
+    counts: dict[str, float] = {}
+    for attribution in profile.attributions:
+        if attribution.category == CATEGORY_OPERATOR:
+            weight = attribution.weight_per_task
+            for task in attribution.tasks:
+                frames = [
+                    f"pipeline_{pipeline_of_task.get(task.id, '?')}",
+                    task.operator.label,
+                    task.role,
+                ]
+                if attribution.runtime_function:
+                    frames.append(attribution.runtime_function)
+                key = ";".join(frames)
+                counts[key] = counts.get(key, 0.0) + weight
+        elif attribution.category == "kernel":
+            key = f"kernel;{attribution.kernel_function or 'unknown'}"
+            counts[key] = counts.get(key, 0.0) + 1.0
+        else:
+            counts["unattributed"] = counts.get("unattributed", 0.0) + 1.0
+    lines = [
+        f"{key} {count:g}" for key, count in sorted(counts.items())
+    ]
+    return "\n".join(lines)
+
+
+def perf_script(profile) -> str:
+    """A perf-script-shaped text dump of the raw samples."""
+    lines = []
+    event_name = profile.config.event.value
+    for attribution in profile.attributions:
+        sample = attribution.sample
+        info = profile.program.function_at(sample.ip)
+        symbol = info.name if info else "[unknown]"
+        lines.append(
+            f"query {attribution.worker:>3} {sample.tsc:>12}: "
+            f"{event_name}: ip=0x{sample.ip:06x} ({symbol})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Sample post-processing: native samples to abstraction levels (§4.2.6).
+
+For every profiling sample the processor walks bottom-up: native IP →
+(debug info) → IR instruction → (Log B) → task → (Log A) → dataflow-graph
+operator.  Samples in shared runtime code are disambiguated by the value of
+the reserved tag register captured in the sample — Register Tagging — or,
+if call stacks were recorded instead, by walking to the innermost
+query-code frame.  Kernel-region samples go to the kernel bucket; SYSLIB
+samples are deliberately unattributable (Table 2's ~2 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipeline.tasks import Task
+from repro.plan.physical import PhysicalOperator
+from repro.profiling.tagging import TaggingDictionary
+from repro.vm.isa import REG_TAG, CodeRegion, Program
+from repro.vm.pmu import Sample
+
+CATEGORY_OPERATOR = "operator"
+CATEGORY_KERNEL = "kernel"
+CATEGORY_UNATTRIBUTED = "unattributed"
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """One sample's resolved place in the abstraction hierarchy."""
+
+    sample: Sample
+    category: str
+    tasks: tuple[Task, ...] = ()
+    ir_id: int | None = None
+    runtime_function: str | None = None
+    kernel_function: str | None = None
+    via: str = "dictionary"  # dictionary | register-tag | callstack | region
+    worker: int = 0  # simulated core the sample was taken on
+
+    @property
+    def operators(self) -> tuple[PhysicalOperator, ...]:
+        return tuple(t.operator for t in self.tasks)
+
+    @property
+    def weight_per_task(self) -> float:
+        return 1.0 / len(self.tasks) if self.tasks else 0.0
+
+
+@dataclass
+class AttributionSummary:
+    """Aggregate shares — the rows of the paper's Table 2."""
+
+    total_samples: int = 0
+    operator_share: float = 0.0
+    kernel_share: float = 0.0
+    unattributed_share: float = 0.0
+
+    @property
+    def attributed_share(self) -> float:
+        return self.operator_share + self.kernel_share
+
+
+class SampleProcessor:
+    """Maps samples bottom-up using debug info + the Tagging Dictionary."""
+
+    def __init__(self, program: Program, tagging: TaggingDictionary):
+        self.program = program
+        self.tagging = tagging
+
+    # ------------------------------------------------------------------
+
+    def attribute(self, sample: Sample) -> Attribution:
+        region = self.program.region_at(sample.ip)
+        if region is CodeRegion.KERNEL:
+            info = self.program.function_at(sample.ip)
+            return Attribution(
+                sample,
+                CATEGORY_KERNEL,
+                kernel_function=info.name if info else None,
+                via="region",
+            )
+        if region is CodeRegion.SYSLIB:
+            return Attribution(sample, CATEGORY_UNATTRIBUTED, via="region")
+        if region is CodeRegion.QUERY:
+            ir_id = self.program.debug.get(sample.ip)
+            if ir_id is None:
+                return Attribution(sample, CATEGORY_UNATTRIBUTED, via="dictionary")
+            tasks = self.tagging.tasks_of_instruction(ir_id)
+            if not tasks:
+                return Attribution(
+                    sample, CATEGORY_UNATTRIBUTED, ir_id=ir_id, via="dictionary"
+                )
+            return Attribution(
+                sample, CATEGORY_OPERATOR, tasks=tasks, ir_id=ir_id
+            )
+        if region is CodeRegion.RUNTIME:
+            return self._attribute_runtime(sample)
+        return Attribution(sample, CATEGORY_UNATTRIBUTED, via="region")
+
+    def _attribute_runtime(self, sample: Sample) -> Attribution:
+        """Shared source location: disambiguate by tag or call stack."""
+        info = self.program.function_at(sample.ip)
+        runtime_name = info.name if info else None
+        ir_id = self.program.debug.get(sample.ip)
+
+        if sample.registers is not None:
+            tag = sample.registers[REG_TAG]
+            task = self.tagging.task_by_id(tag) if isinstance(tag, int) else None
+            if task is not None:
+                return Attribution(
+                    sample,
+                    CATEGORY_OPERATOR,
+                    tasks=(task,),
+                    ir_id=ir_id,
+                    runtime_function=runtime_name,
+                    via="register-tag",
+                )
+
+        if sample.callstack is not None:
+            for call_site in reversed(sample.callstack):
+                if self.program.region_at(call_site) is not CodeRegion.QUERY:
+                    continue
+                site_ir = self.program.debug.get(call_site)
+                if site_ir is None:
+                    continue
+                tasks = self.tagging.tasks_of_instruction(site_ir)
+                if tasks:
+                    return Attribution(
+                        sample,
+                        CATEGORY_OPERATOR,
+                        tasks=tasks,
+                        ir_id=ir_id,
+                        runtime_function=runtime_name,
+                        via="callstack",
+                    )
+
+        return Attribution(
+            sample,
+            CATEGORY_UNATTRIBUTED,
+            ir_id=ir_id,
+            runtime_function=runtime_name,
+            via="unresolved",
+        )
+
+    # ------------------------------------------------------------------
+
+    def process(self, samples: list[Sample]) -> list[Attribution]:
+        return [self.attribute(s) for s in samples]
+
+    def summarize(self, attributions: list[Attribution]) -> AttributionSummary:
+        summary = AttributionSummary(total_samples=len(attributions))
+        if not attributions:
+            return summary
+        n = len(attributions)
+        operators = sum(1 for a in attributions if a.category == CATEGORY_OPERATOR)
+        kernel = sum(1 for a in attributions if a.category == CATEGORY_KERNEL)
+        summary.operator_share = operators / n
+        summary.kernel_share = kernel / n
+        summary.unattributed_share = 1.0 - (operators + kernel) / n
+        return summary
+
+    def operator_weights(
+        self, attributions: list[Attribution]
+    ) -> dict[PhysicalOperator, float]:
+        """Sample weight per dataflow-graph operator (multi-parent samples
+
+        split evenly, per the instruction-fusing rule of §4.2.7)."""
+        weights: dict[PhysicalOperator, float] = {}
+        for attribution in attributions:
+            if attribution.category != CATEGORY_OPERATOR:
+                continue
+            share = attribution.weight_per_task
+            for task in attribution.tasks:
+                op = task.operator
+                weights[op] = weights.get(op, 0.0) + share
+        return weights
+
+    def task_weights(self, attributions: list[Attribution]) -> dict[Task, float]:
+        weights: dict[Task, float] = {}
+        for attribution in attributions:
+            if attribution.category != CATEGORY_OPERATOR:
+                continue
+            share = attribution.weight_per_task
+            for task in attribution.tasks:
+                weights[task] = weights.get(task, 0.0) + share
+        return weights

@@ -1,0 +1,135 @@
+"""The Profile object: one profiled query run and its tailored reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.pipeline.tasks import Pipeline, Task
+from repro.plan.physical import PhysicalOperator, PhysicalOutput
+from repro.profiling.postprocess import (
+    Attribution,
+    AttributionSummary,
+    SampleProcessor,
+)
+from repro.profiling.tagging import TaggingDictionary
+from repro.vm import Machine, Program
+
+if TYPE_CHECKING:
+    from repro.engine import Database, ProfilerConfig, QueryResult
+
+
+@dataclass
+class Profile:
+    """Everything recorded while profiling one query, plus report entry
+    points (implemented in :mod:`repro.profiling.reports`)."""
+
+    database: "Database"
+    config: "ProfilerConfig"
+    physical: PhysicalOutput
+    pipelines: list[Pipeline]
+    ir_module: object
+    program: Program
+    machine: Machine
+    tagging: TaggingDictionary
+    processor: SampleProcessor
+    attributions: list[Attribution]
+    result: "QueryResult"
+    machines: list[Machine] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.machines:
+            self.machines = [self.machine]
+
+    @property
+    def workers(self) -> int:
+        return len(self.machines)
+
+    # -- aggregate views ----------------------------------------------------
+
+    @property
+    def samples(self):
+        return [a.sample for a in self.attributions]
+
+    def zoom(self, start_tsc: int, end_tsc: int) -> "Profile":
+        """Restrict the profile to a time interval (§4.3: after spotting a
+
+        temporal hotspot in the timeline, "narrow down on the next lower
+        abstraction level, i.e., limit the results to the time interval of
+        the hotspot").  All reports work on the zoomed profile."""
+        import dataclasses
+
+        filtered = [
+            a for a in self.attributions if start_tsc <= a.sample.tsc < end_tsc
+        ]
+        return dataclasses.replace(self, attributions=filtered)
+
+    def attribution_summary(self) -> AttributionSummary:
+        return self.processor.summarize(self.attributions)
+
+    def operator_costs(self) -> dict[PhysicalOperator, float]:
+        """Fraction of operator-attributed samples per operator (Fig. 9b)."""
+        weights = self.processor.operator_weights(self.attributions)
+        total = sum(weights.values())
+        if total == 0:
+            return {}
+        return {op: w / total for op, w in weights.items()}
+
+    def task_costs(self) -> dict[Task, float]:
+        weights = self.processor.task_weights(self.attributions)
+        total = sum(weights.values())
+        if total == 0:
+            return {}
+        return {task: w / total for task, w in weights.items()}
+
+    # -- tailored reports ------------------------------------------------------
+
+    def annotated_plan(self) -> str:
+        from repro.profiling import reports
+
+        return reports.annotated_plan(self)
+
+    def plan_dot(self) -> str:
+        from repro.profiling import reports
+
+        return reports.plan_dot(self)
+
+    def hot_instructions(self, n: int = 10):
+        from repro.profiling import reports
+
+        return reports.hot_instructions(self, n)
+
+    def annotated_ir(self, pipeline_index: int | None = None) -> str:
+        from repro.profiling import reports
+
+        return reports.annotated_ir(self, pipeline_index)
+
+    def activity_timeline(self, bins: int = 25):
+        from repro.profiling import reports
+
+        return reports.activity_timeline(self, bins)
+
+    def render_timeline(self, bins: int = 25, width: int = 60) -> str:
+        from repro.profiling import reports
+
+        return reports.render_timeline(self, bins=bins, width=width)
+
+    def memory_profile(self):
+        from repro.profiling import reports
+
+        return reports.memory_profile(self)
+
+    def annotated_pipelines(self) -> str:
+        from repro.profiling import reports
+
+        return reports.annotated_pipelines(self)
+
+    def iterations(self):
+        from repro.profiling import reports
+
+        return reports.detect_iterations(self)
+
+    def iteration_report(self) -> str:
+        from repro.profiling import reports
+
+        return reports.iteration_report(self)

@@ -1,0 +1,187 @@
+"""Offline profiling sessions: the paper's metadata-file workflow (§5.2.2).
+
+Umbra "writes all logs into a meta-data file, which is read by the
+post-processing phase"; samples arrive separately via ``perf script``.
+This module reproduces that decoupling: :func:`save_session` persists the
+compile-time metadata (Tagging Dictionary logs, debug info, code-region
+map) and the raw samples; :func:`load_session` re-attributes the samples
+with *no* live engine objects — everything the post-processor needs is in
+the files.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import ProfilingError
+from repro.vm.isa import REG_TAG
+
+_TAGGING_FILE = "tagging.json"
+_PROGRAM_FILE = "program.json"
+_SAMPLES_FILE = "samples.jsonl"
+_META_FILE = "meta.json"
+
+
+def save_session(profile, directory) -> pathlib.Path:
+    """Persist one profiled run for offline post-processing."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    pipeline_of_task = {
+        task.id: pipeline.index
+        for pipeline in profile.pipelines
+        for task in pipeline.tasks
+    }
+    tagging = profile.tagging
+    tagging_doc = {
+        "tasks": {
+            str(task_id): {
+                "role": task.role,
+                "operator": task.operator.label,
+                "kind": task.operator.kind,
+                "pipeline": pipeline_of_task.get(task_id),
+            }
+            for task_id, task in tagging.tasks.items()
+        },
+        "log_b": {str(ir): list(task_ids) for ir, task_ids in tagging.log_b.items()},
+        "runtime_ir": {str(ir): name for ir, name in tagging.runtime_ir.items()},
+    }
+    (directory / _TAGGING_FILE).write_text(json.dumps(tagging_doc))
+
+    program = profile.program
+    program_doc = {
+        "functions": [
+            {
+                "name": info.name,
+                "start": info.start,
+                "end": info.end,
+                "region": info.region.value,
+            }
+            for info in program.functions
+        ],
+        "debug": {str(ip): ir for ip, ir in program.debug.items()},
+    }
+    (directory / _PROGRAM_FILE).write_text(json.dumps(program_doc))
+
+    with (directory / _SAMPLES_FILE).open("w") as handle:
+        for attribution in profile.attributions:
+            sample = attribution.sample
+            record = {"ip": sample.ip, "tsc": sample.tsc,
+                      "worker": attribution.worker}
+            if sample.registers is not None:
+                record["tag"] = sample.registers[REG_TAG]
+            if sample.callstack is not None:
+                record["callstack"] = list(sample.callstack)
+            if sample.memaddr is not None:
+                record["memaddr"] = sample.memaddr
+            handle.write(json.dumps(record) + "\n")
+
+    meta = {
+        "mode": profile.config.mode.value,
+        "event": profile.config.event.value,
+        "period": profile.config.period,
+        "cycles": profile.result.cycles,
+        "instructions": profile.result.instructions,
+        "workers": profile.workers,
+    }
+    (directory / _META_FILE).write_text(json.dumps(meta))
+    return directory
+
+
+class OfflineSession:
+    """Post-processing over persisted metadata — no engine required."""
+
+    def __init__(self, tagging_doc: dict, program_doc: dict,
+                 samples: list[dict], meta: dict):
+        self.meta = meta
+        self._tasks = {
+            int(task_id): info for task_id, info in tagging_doc["tasks"].items()
+        }
+        self._log_b = {
+            int(ir): [int(t) for t in task_ids]
+            for ir, task_ids in tagging_doc["log_b"].items()
+        }
+        self._runtime_ir = {
+            int(ir): name for ir, name in tagging_doc["runtime_ir"].items()
+        }
+        self._functions = program_doc["functions"]
+        self._debug = {int(ip): ir for ip, ir in program_doc["debug"].items()}
+        self.samples = samples
+
+    # -- lookups ------------------------------------------------------------
+
+    def _region_at(self, ip: int) -> str | None:
+        for info in self._functions:
+            if info["start"] <= ip < info["end"]:
+                return info["region"]
+        return None
+
+    def attribute(self, record: dict) -> tuple[str, list[dict]]:
+        """(category, task infos) for one persisted sample record."""
+        region = self._region_at(record["ip"])
+        if region == "kernel":
+            return "kernel", []
+        if region == "query":
+            ir = self._debug.get(record["ip"])
+            tasks = self._log_b.get(ir, []) if ir is not None else []
+            if tasks:
+                return "operator", [self._tasks[t] for t in tasks]
+            return "unattributed", []
+        if region == "runtime":
+            tag = record.get("tag")
+            if tag in self._tasks:
+                return "operator", [self._tasks[tag]]
+            for call_site in reversed(record.get("callstack", [])):
+                if self._region_at(call_site) != "query":
+                    continue
+                ir = self._debug.get(call_site)
+                tasks = self._log_b.get(ir, []) if ir is not None else []
+                if tasks:
+                    return "operator", [self._tasks[t] for t in tasks]
+            return "unattributed", []
+        return "unattributed", []
+
+    # -- aggregates -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        counts = {"operator": 0, "kernel": 0, "unattributed": 0}
+        for record in self.samples:
+            category, _ = self.attribute(record)
+            counts[category] += 1
+        total = max(1, len(self.samples))
+        return {
+            "total_samples": len(self.samples),
+            "operator_share": counts["operator"] / total,
+            "kernel_share": counts["kernel"] / total,
+            "unattributed_share": counts["unattributed"] / total,
+        }
+
+    def operator_weights(self) -> dict[str, float]:
+        weights: dict[str, float] = {}
+        for record in self.samples:
+            category, tasks = self.attribute(record)
+            if category != "operator" or not tasks:
+                continue
+            share = 1.0 / len(tasks)
+            for task in tasks:
+                label = task["operator"]
+                weights[label] = weights.get(label, 0.0) + share
+        return weights
+
+
+def load_session(directory) -> OfflineSession:
+    """Load a persisted session for offline post-processing."""
+    directory = pathlib.Path(directory)
+    try:
+        tagging_doc = json.loads((directory / _TAGGING_FILE).read_text())
+        program_doc = json.loads((directory / _PROGRAM_FILE).read_text())
+        meta = json.loads((directory / _META_FILE).read_text())
+        samples = [
+            json.loads(line)
+            for line in (directory / _SAMPLES_FILE).read_text().splitlines()
+            if line.strip()
+        ]
+    except FileNotFoundError as exc:
+        raise ProfilingError(f"not a profiling session: {exc}") from None
+    return OfflineSession(tagging_doc, program_doc, samples, meta)

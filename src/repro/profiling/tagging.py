@@ -1,0 +1,95 @@
+"""The Tagging Dictionary (§4.2.2): per-lowering-step link logs.
+
+Log A links tasks to their dataflow-graph operators (filled during pipeline
+decomposition); Log B links IR instructions to tasks (filled by the IR
+builder's emission funnel while the task tracker is active).  The third
+lowering step, IR to native code, is covered by the backend's debug
+information, exactly as Umbra uses DWARF from LLVM.
+
+Optimizations keep the dictionary consistent (§4.2.7): eliminated
+instructions are dropped; merged instructions (CSE) carry *all* their
+original parents, so a sample on a merged instruction is split across the
+source locations it implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.backend.opts import OptimizationResult
+from repro.errors import ProfilingError
+from repro.pipeline.tasks import Task
+from repro.plan.physical import PhysicalOperator
+
+# Paper §6.2: one dictionary entry is a triple (operator, task, IR source
+# line) stored in 24 bytes.
+ENTRY_BYTES = 24
+
+
+@dataclass
+class TaggingDictionary:
+    """Both logs plus bookkeeping for shared (runtime) source locations."""
+
+    # Log A: task id -> dataflow-graph operator
+    log_a: dict[int, PhysicalOperator] = field(default_factory=dict)
+    # Log B: IR instruction id -> owning task ids (usually exactly one;
+    # several after instruction merging)
+    log_b: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    # tasks by id, for report labels and register-tag resolution
+    tasks: dict[int, Task] = field(default_factory=dict)
+    # IR ids belonging to pre-compiled runtime functions (shared locations)
+    runtime_ir: dict[int, str] = field(default_factory=dict)
+
+    # -- population (compile time) ----------------------------------------
+
+    def register_task(self, task: Task) -> None:
+        if task.id in self.log_a:
+            raise ProfilingError(f"task {task.id} registered twice")
+        self.log_a[task.id] = task.operator
+        self.tasks[task.id] = task
+
+    def link_instruction(self, ir_id: int, task: Task) -> None:
+        if task.id not in self.log_a:
+            raise ProfilingError(f"instruction links to unregistered task {task.id}")
+        self.log_b[ir_id] = (task.id,)
+
+    def link_runtime_instruction(self, ir_id: int, function_name: str) -> None:
+        self.runtime_ir[ir_id] = function_name
+
+    def apply_optimizations(self, result: OptimizationResult) -> None:
+        """Fold the optimizer's deltas into Log B (§4.2.7)."""
+        for ir_id in result.removed:
+            self.log_b.pop(ir_id, None)
+            self.runtime_ir.pop(ir_id, None)
+        for survivor, absorbed in result.merged.items():
+            parents: list[int] = list(self.log_b.get(survivor, ()))
+            for dup in absorbed:
+                for task_id in self.log_b.pop(dup, ()):
+                    if task_id not in parents:
+                        parents.append(task_id)
+            if parents:
+                self.log_b[survivor] = tuple(parents)
+
+    # -- lookup (post-processing time) --------------------------------------
+
+    def tasks_of_instruction(self, ir_id: int) -> tuple[Task, ...]:
+        return tuple(self.tasks[t] for t in self.log_b.get(ir_id, ()))
+
+    def operator_of_task(self, task_id: int) -> PhysicalOperator | None:
+        return self.log_a.get(task_id)
+
+    def task_by_id(self, task_id: int) -> Task | None:
+        return self.tasks.get(task_id)
+
+    def runtime_function_of(self, ir_id: int) -> str | None:
+        return self.runtime_ir.get(ir_id)
+
+    # -- statistics (§6.2 storage discussion) --------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.log_b)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.entry_count * ENTRY_BYTES

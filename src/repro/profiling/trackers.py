@@ -1,0 +1,54 @@
+"""Abstraction Trackers (§4.2.4): who is being lowered right now?
+
+A tracker is a stack holding the currently-lowered component of one
+abstraction level.  The engine pushes on entry to a component's lowering
+code and pops on exit; whenever a lower-level component is created, the
+Tagging Dictionary consults the tracker tops to record the links.
+
+Umbra uses two: one for the active operator (produce/consume entry/exit)
+and one for the active task (trigger/finish).  So do we.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import ProfilingError
+
+
+class AbstractionTracker:
+    """A stack of active higher-level components."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._stack: list = []
+
+    @property
+    def current(self):
+        """The active component, or None outside any component."""
+        return self._stack[-1] if self._stack else None
+
+    def push(self, component) -> None:
+        self._stack.append(component)
+
+    def pop(self):
+        if not self._stack:
+            raise ProfilingError(f"tracker {self.name!r}: pop from empty stack")
+        return self._stack.pop()
+
+    @contextmanager
+    def active(self, component):
+        """Scope ``component`` as the active one for the duration."""
+        self.push(component)
+        try:
+            yield
+        finally:
+            popped = self.pop()
+            if popped is not component:
+                raise ProfilingError(
+                    f"tracker {self.name!r}: unbalanced push/pop"
+                )
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,12 @@
+"""SQL frontend: lexer, parser, and binder for the engine's SQL subset.
+
+The subset covers what the adapted TPC-H suite needs (see DESIGN.md §4):
+SELECT with aggregates and arithmetic, multi-table FROM with WHERE
+conjunctions, BETWEEN / IN / (NOT) LIKE / CASE, GROUP BY, ORDER BY, LIMIT.
+"""
+
+from repro.sql.lexer import Token, TokenKind, tokenize
+from repro.sql.parser import parse
+from repro.sql.binder import Binder, BoundQuery
+
+__all__ = ["Binder", "BoundQuery", "Token", "TokenKind", "parse", "tokenize"]

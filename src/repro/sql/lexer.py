@@ -1,0 +1,116 @@
+"""SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SqlError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "and", "or", "not", "in", "like", "between", "as",
+    "case", "when", "then", "else", "end", "asc", "desc", "date", "exists",
+    "distinct",
+}
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    value: object
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = "(),.;"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Lex a statement; raises :class:`SqlError` with a position on junk."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise SqlError("unterminated string literal", i)
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            text = "".join(parts)
+            tokens.append(Token(TokenKind.STRING, text, text, i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # '1.' followed by non-digit is number then punct
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            text = sql[i:j]
+            value: object = float(text) if "." in text else int(text)
+            tokens.append(Token(TokenKind.NUMBER, text, value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            text = sql[i:j]
+            lowered = text.lower()
+            kind = TokenKind.KEYWORD if lowered in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, lowered, lowered, i))
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                canonical = "<>" if op == "!=" else op
+                tokens.append(Token(TokenKind.OPERATOR, canonical, canonical, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, ch, ch, i))
+            i += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenKind.EOF, "", None, n))
+    return tokens

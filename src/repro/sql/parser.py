@@ -1,0 +1,314 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.sql import ast
+from repro.sql.lexer import Token, TokenKind, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SqlError(
+                f"expected {word.upper()}, found {self.current.text!r}",
+                self.current.position,
+            )
+
+    def accept_punct(self, ch: str) -> bool:
+        if self.current.kind is TokenKind.PUNCT and self.current.text == ch:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, ch: str) -> None:
+        if not self.accept_punct(ch):
+            raise SqlError(
+                f"expected {ch!r}, found {self.current.text!r}",
+                self.current.position,
+            )
+
+    def expect_ident(self) -> str:
+        token = self.current
+        if token.kind is not TokenKind.IDENT:
+            raise SqlError(
+                f"expected identifier, found {token.text!r}", token.position
+            )
+        self.advance()
+        return token.text
+
+    # -- statement ------------------------------------------------------------
+
+    def parse_statement(self) -> ast.SelectStmt:
+        stmt = self.parse_select_body()
+        self.accept_punct(";")
+        if self.current.kind is not TokenKind.EOF:
+            raise SqlError(
+                f"trailing input {self.current.text!r}", self.current.position
+            )
+        return stmt
+
+    def parse_select_body(self) -> ast.SelectStmt:
+        self.expect_keyword("select")
+        stmt = ast.SelectStmt()
+        stmt.distinct = self.accept_keyword("distinct")
+        stmt.items.append(self.parse_select_item())
+        while self.accept_punct(","):
+            stmt.items.append(self.parse_select_item())
+
+        self.expect_keyword("from")
+        stmt.tables.append(self.parse_table_ref())
+        while self.accept_punct(","):
+            stmt.tables.append(self.parse_table_ref())
+
+        if self.accept_keyword("where"):
+            stmt.where = self.parse_expr()
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            stmt.group_by.append(self.parse_expr())
+            while self.accept_punct(","):
+                stmt.group_by.append(self.parse_expr())
+        if self.accept_keyword("having"):
+            stmt.having = self.parse_expr()
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            stmt.order_by.append(self.parse_order_item())
+            while self.accept_punct(","):
+                stmt.order_by.append(self.parse_order_item())
+        if self.accept_keyword("limit"):
+            token = self.current
+            if token.kind is not TokenKind.NUMBER or not isinstance(token.value, int):
+                raise SqlError("LIMIT expects an integer", token.position)
+            self.advance()
+            stmt.limit = token.value
+        return stmt
+
+    def parse_select_item(self) -> ast.SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident()
+        elif self.current.kind is TokenKind.IDENT:
+            alias = self.expect_ident()
+        return ast.SelectItem(expr, alias)
+
+    def parse_table_ref(self) -> ast.TableRef:
+        if self.current.kind is TokenKind.PUNCT and self.current.text == "(" \
+                and self.tokens[self.pos + 1].is_keyword("select"):
+            subquery = self.parse_subquery()
+            if self.accept_keyword("as"):
+                alias = self.expect_ident()
+            elif self.current.kind is TokenKind.IDENT:
+                alias = self.expect_ident()
+            else:
+                raise SqlError(
+                    "derived tables need an alias", self.current.position
+                )
+            return ast.TableRef("", alias, subquery=subquery)
+        table = self.expect_ident()
+        alias = table
+        if self.accept_keyword("as"):
+            alias = self.expect_ident()
+        elif self.current.kind is TokenKind.IDENT:
+            alias = self.expect_ident()
+        return ast.TableRef(table, alias)
+
+    def parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        ascending = True
+        if self.accept_keyword("desc"):
+            ascending = False
+        else:
+            self.accept_keyword("asc")
+        return ast.OrderItem(expr, ascending)
+
+    # -- expressions (precedence climbing) -------------------------------------
+
+    def parse_expr(self) -> ast.Node:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Node:
+        left = self.parse_and()
+        while self.accept_keyword("or"):
+            left = ast.BinaryOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Node:
+        left = self.parse_not()
+        while self.accept_keyword("and"):
+            left = ast.BinaryOp("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> ast.Node:
+        if self.current.is_keyword("not") and self.tokens[self.pos + 1].is_keyword("exists"):
+            self.advance()
+            self.advance()
+            return ast.Exists(self.parse_subquery(), negated=True)
+        if self.accept_keyword("not"):
+            return ast.UnaryOp("not", self.parse_not())
+        if self.accept_keyword("exists"):
+            return ast.Exists(self.parse_subquery())
+        return self.parse_predicate()
+
+    def parse_subquery(self) -> ast.SelectStmt:
+        self.expect_punct("(")
+        inner = self.parse_select_body()
+        self.expect_punct(")")
+        return inner
+
+    def parse_predicate(self) -> ast.Node:
+        left = self.parse_additive()
+        token = self.current
+        if token.kind is TokenKind.OPERATOR and token.text in (
+            "=", "<>", "<", "<=", ">", ">=",
+        ):
+            self.advance()
+            return ast.BinaryOp(token.text, left, self.parse_additive())
+        negated = False
+        if self.current.is_keyword("not"):
+            nxt = self.tokens[self.pos + 1]
+            if nxt.is_keyword("in") or nxt.is_keyword("like") or nxt.is_keyword("between"):
+                self.advance()
+                negated = True
+        if self.accept_keyword("between"):
+            low = self.parse_additive()
+            self.expect_keyword("and")
+            high = self.parse_additive()
+            return ast.Between(left, low, high, negated)
+        if self.accept_keyword("in"):
+            if self.tokens[self.pos + 1].is_keyword("select"):
+                subquery = self.parse_subquery()
+                return ast.InSubquery(left, subquery, negated)
+            self.expect_punct("(")
+            values = [self.parse_additive()]
+            while self.accept_punct(","):
+                values.append(self.parse_additive())
+            self.expect_punct(")")
+            return ast.InList(left, tuple(values), negated)
+        if self.accept_keyword("like"):
+            token = self.current
+            if token.kind is not TokenKind.STRING:
+                raise SqlError("LIKE expects a string pattern", token.position)
+            self.advance()
+            return ast.Like(left, token.value, negated)
+        if negated:
+            raise SqlError("dangling NOT", self.current.position)
+        return left
+
+    def parse_additive(self) -> ast.Node:
+        left = self.parse_multiplicative()
+        while (
+            self.current.kind is TokenKind.OPERATOR
+            and self.current.text in ("+", "-")
+        ):
+            op = self.advance().text
+            left = ast.BinaryOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> ast.Node:
+        left = self.parse_unary()
+        while (
+            self.current.kind is TokenKind.OPERATOR
+            and self.current.text in ("*", "/", "%")
+        ):
+            op = self.advance().text
+            left = ast.BinaryOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> ast.Node:
+        if self.current.kind is TokenKind.OPERATOR and self.current.text == "-":
+            self.advance()
+            return ast.UnaryOp("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Node:  # noqa: C901
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return ast.NumberLit(token.value)
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return ast.StringLit(token.value)
+        if token.is_keyword("date"):
+            self.advance()
+            text = self.current
+            if text.kind is not TokenKind.STRING:
+                raise SqlError("DATE expects a string literal", text.position)
+            self.advance()
+            return ast.DateLit(text.value)
+        if token.is_keyword("case"):
+            self.advance()
+            whens: list[tuple[ast.Node, ast.Node]] = []
+            while self.accept_keyword("when"):
+                cond = self.parse_expr()
+                self.expect_keyword("then")
+                whens.append((cond, self.parse_expr()))
+            default = None
+            if self.accept_keyword("else"):
+                default = self.parse_expr()
+            self.expect_keyword("end")
+            if not whens:
+                raise SqlError("CASE needs at least one WHEN", token.position)
+            return ast.Case(tuple(whens), default)
+        if self.current.kind is TokenKind.PUNCT and self.current.text == "(" \
+                and self.tokens[self.pos + 1].is_keyword("select"):
+            return ast.ScalarSubquery(self.parse_subquery())
+        if self.accept_punct("("):
+            inner = self.parse_expr()
+            self.expect_punct(")")
+            return inner
+        if token.kind is TokenKind.OPERATOR and token.text == "*":
+            self.advance()
+            return ast.Star()
+        if token.kind is TokenKind.IDENT:
+            name = self.expect_ident()
+            if self.accept_punct("("):
+                if self.accept_punct(")"):
+                    raise SqlError(f"{name}() needs arguments", token.position)
+                args = [self.parse_expr()]
+                while self.accept_punct(","):
+                    args.append(self.parse_expr())
+                self.expect_punct(")")
+                return ast.FuncCall(name, tuple(args))
+            if self.accept_punct("."):
+                column = self.expect_ident()
+                return ast.Identifier(name, column)
+            return ast.Identifier(None, name)
+        raise SqlError(f"unexpected token {token.text!r}", token.position)
+
+
+def parse(sql: str) -> ast.SelectStmt:
+    """Parse one SELECT statement."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+def parse_expression(text: str) -> ast.Node:
+    """Parse a standalone scalar/boolean expression (DSL frontends)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    if parser.current.kind is not TokenKind.EOF:
+        raise SqlError(
+            f"trailing input {parser.current.text!r}", parser.current.position
+        )
+    return expr

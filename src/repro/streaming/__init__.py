@@ -1,0 +1,16 @@
+"""A second dataflow frontend on the same compilation + profiling stack.
+
+The paper's Figure 1 places the dataflow graph *above* the relational
+layers and argues Tailored Profiling works for any system that lowers such
+a graph to machine code (§4.2, §6.4 "Portability").  This package is that
+claim exercised in code: a streaming-flavoured dataflow DSL —
+source → where → derive → tumbling windows → windowed aggregation → sink —
+with its *own operator vocabulary*, lowered through the very same
+pipelines/IR/backend, profiled by the very same Tagging Dictionary.
+Profiling reports come out speaking the DSL's language ("source
+shipments", "window-agg#7"), not SQL's.
+"""
+
+from repro.streaming.flow import EventFlow
+
+__all__ = ["EventFlow"]

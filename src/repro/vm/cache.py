@@ -1,0 +1,68 @@
+"""Set-associative cache hierarchy used to cost memory accesses.
+
+Two inclusive levels with LRU replacement.  The interpreter calls
+:meth:`CacheHierarchy.access` for every load and store; the return value is
+the load latency in cycles, and miss counters feed the PMU's cache events.
+"""
+
+from __future__ import annotations
+
+from repro.vm import costs
+
+
+class CacheLevel:
+    """One set-associative, LRU cache level tracking tags only."""
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int = costs.CACHE_LINE):
+        self.line_bits = line_bytes.bit_length() - 1
+        nsets = size_bytes // (line_bytes * ways)
+        if nsets & (nsets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self.set_mask = nsets - 1
+        self.ways = ways
+        self.sets: list[list[int]] = [[] for _ in range(nsets)]
+
+    def access(self, line: int) -> bool:
+        """Touch ``line``; return True on hit.  Misses allocate the line."""
+        tags = self.sets[line & self.set_mask]
+        if line in tags:
+            if tags[0] != line:
+                tags.remove(line)
+                tags.insert(0, line)
+            return True
+        tags.insert(0, line)
+        if len(tags) > self.ways:
+            tags.pop()
+        return False
+
+    def flush(self) -> None:
+        for tags in self.sets:
+            tags.clear()
+
+
+class CacheHierarchy:
+    """L1 + L2 with miss counting; returns per-access latency."""
+
+    def __init__(self):
+        self.l1 = CacheLevel(costs.L1_SIZE, costs.L1_WAYS)
+        self.l2 = CacheLevel(costs.L2_SIZE, costs.L2_WAYS)
+        self.accesses = 0
+        self.l1_misses = 0
+        self.l2_misses = 0
+        self._line_bits = self.l1.line_bits
+
+    def access(self, addr: int) -> int:
+        """Access byte address ``addr``; return latency in cycles."""
+        self.accesses += 1
+        line = addr >> self._line_bits
+        if self.l1.access(line):
+            return costs.LAT_L1
+        self.l1_misses += 1
+        if self.l2.access(line):
+            return costs.LAT_L2
+        self.l2_misses += 1
+        return costs.LAT_MEM
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()

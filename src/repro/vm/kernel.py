@@ -1,0 +1,138 @@
+"""The simulated operating-system kernel.
+
+Generated code reaches the kernel through ``KCALL`` instructions.  Kernel
+work is performed natively in Python but is cycle- and event-accounted
+through :meth:`Machine.advance_external`, so profiling samples can land in
+the kernel's code region — the "Kernel Tasks" bucket of the paper's Table 2
+(memory allocation being the canonical example).
+
+Kernel services:
+
+====  ============  ====================================================
+id    name          semantics
+====  ============  ====================================================
+0     alloc         r0 = size in bytes  ->  r0 = address
+1     sort          r0 = row base, r1 = row count, r2 = sort desc id
+2     output_row    r0 = pointer to values, r1 = value count
+====  ============  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VMError
+from repro.vm import costs
+from repro.vm.isa import CodeRegion, FunctionInfo, Opcode, Program
+
+K_ALLOC = 0
+K_SORT = 1
+K_OUTPUT_ROW = 2
+
+_KERNEL_FN_NAMES = {K_ALLOC: "kernel_alloc", K_SORT: "kernel_sort", K_OUTPUT_ROW: "kernel_output_row"}
+_KERNEL_FN_SLOTS = 8  # fake instruction slots per kernel function
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """One key column of a sort descriptor."""
+
+    offset_words: int
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SortDescriptor:
+    """Row layout and key list for a kernel sort call."""
+
+    row_words: int
+    keys: tuple[SortKey, ...]
+    limit: int | None = None
+
+
+def install_kernel_stubs(program: Program) -> dict[int, FunctionInfo]:
+    """Append fake code ranges for kernel functions to ``program``.
+
+    The bodies are NOPs that are never executed; they only give kernel work
+    an address range for sample attribution.
+    """
+    infos = {}
+    for kid, name in _KERNEL_FN_NAMES.items():
+        body = [(Opcode.NOP, 0, 0, 0)] * _KERNEL_FN_SLOTS
+        infos[kid] = program.append_function(name, body, CodeRegion.KERNEL)
+    return infos
+
+
+class Kernel:
+    """Dispatcher for kernel calls; owns sort descriptors."""
+
+    def __init__(self, memory, fn_infos: dict[int, FunctionInfo]):
+        self.memory = memory
+        self.fn_infos = fn_infos
+        self.sort_descriptors: list[SortDescriptor] = []
+        self.alloc_count = 0
+        self.sort_count = 0
+
+    def register_sort(self, descriptor: SortDescriptor) -> int:
+        self.sort_descriptors.append(descriptor)
+        return len(self.sort_descriptors) - 1
+
+    def call(self, machine, kid: int) -> None:
+        if kid == K_ALLOC:
+            self._alloc(machine)
+        elif kid == K_SORT:
+            self._sort(machine)
+        elif kid == K_OUTPUT_ROW:
+            self._output_row(machine)
+        else:
+            raise VMError(f"unknown kernel call {kid}")
+
+    def _alloc(self, machine) -> None:
+        size = machine.regs[0]
+        if size < 0:
+            raise VMError(f"kernel alloc of negative size {size}")
+        addr = self.memory.alloc(size, "kernel_alloc")
+        machine.regs[0] = addr
+        self.alloc_count += 1
+        cycles = costs.KERNEL_CALL_BASE + costs.KERNEL_ALLOC_PER_KB * (size // 1024 + 1)
+        machine.advance_external(self.fn_infos[K_ALLOC], cycles, cycles, 0)
+
+    def _sort(self, machine) -> None:
+        base, count, desc_id = machine.regs[0], machine.regs[1], machine.regs[2]
+        try:
+            desc = self.sort_descriptors[desc_id]
+        except IndexError:
+            raise VMError(f"unknown sort descriptor {desc_id}") from None
+        words = self.memory.words
+        row_words = desc.row_words
+        first = base >> 3
+        rows = [
+            tuple(words[first + i * row_words : first + (i + 1) * row_words])
+            for i in range(count)
+        ]
+
+        def sort_key(row):
+            key = []
+            for part in desc.keys:
+                value = row[part.offset_words]
+                if not part.ascending:
+                    value = -value if isinstance(value, (int, float)) else value
+                key.append(value)
+            return tuple(key)
+
+        rows.sort(key=sort_key)
+        for i, row in enumerate(rows):
+            words[first + i * row_words : first + (i + 1) * row_words] = list(row)
+        self.sort_count += 1
+        comparisons = max(1, count) * max(1, count.bit_length())
+        cycles = costs.KERNEL_CALL_BASE + costs.KERNEL_SORT_PER_ELEM * comparisons
+        loads = count * row_words
+        machine.advance_external(self.fn_infos[K_SORT], cycles, cycles, loads, base)
+        machine.regs[0] = count
+
+    def _output_row(self, machine) -> None:
+        ptr, nvalues = machine.regs[0], machine.regs[1]
+        first = ptr >> 3
+        machine.output.append(tuple(self.memory.words[first : first + nvalues]))
+        cycles = costs.KERNEL_CALL_BASE + costs.KERNEL_OUTPUT_PER_VALUE * nvalues
+        machine.advance_external(self.fn_infos[K_OUTPUT_ROW], cycles, cycles, nvalues, ptr)

@@ -1,0 +1,497 @@
+"""The simulated CPU: a cycle-accounted register-machine interpreter.
+
+The machine executes :class:`~repro.vm.isa.Program` images, models the
+memory hierarchy and branch prediction for costs, and drives the PEBS-like
+PMU.  It is single-core, matching the paper's single-threaded evaluation
+setup.
+
+Numeric semantics: registers and memory words hold Python ints (i64) or
+floats (f64).  ``MUL`` wraps to 64-bit two's-complement (hash mixing relies
+on it); ``ADD``/``SUB`` do not wrap — the engine never generates code whose
+sums approach 2^63.  ``SDIV``/``SREM`` truncate toward zero like C.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+
+from dataclasses import dataclass
+
+from repro.errors import VMError
+from repro.vm import costs
+from repro.vm.branch import BranchPredictor
+from repro.vm.cache import CacheHierarchy
+from repro.vm.isa import NUM_REGS, FunctionInfo, Opcode, Program
+from repro.vm.memory import Memory
+from repro.vm.pmu import Event, PmuConfig, Sample, SampleBuffer
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+STACK_BYTES = 1 << 16
+
+
+def _sdiv(a: int, b: int) -> int:
+    """C-style signed division truncating toward zero."""
+    if b == 0:
+        raise ZeroDivisionError("sdiv by zero")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def crc32_mix(a, b) -> int:
+    """The CRC32 instruction's 64-bit mix (shared with constant folding).
+
+    Float operands are hashed by their IEEE-754 bit pattern, as hardware
+    hashing a spilled xmm value would see them (group-by keys can be
+    floating point, e.g. ``SELECT DISTINCT price / 10.0``)."""
+    if isinstance(a, float):
+        a = _struct.unpack("<q", _struct.pack("<d", a))[0]
+    if isinstance(b, float):
+        b = _struct.unpack("<q", _struct.pack("<d", b))[0]
+    a &= _MASK64
+    b &= _MASK64
+    z = (a ^ (b * 0x9E3779B97F4A7C15)) & _MASK64
+    z ^= z >> 29
+    z = (z * 0xBF58476D1CE4E5B9) & _MASK64
+    return z ^ (z >> 32)
+
+
+@dataclass
+class MachineState:
+    """Counters exposed for reports and tests."""
+
+    cycles: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    kernel_cycles: int = 0
+    sampling_cycles: int = 0
+    samples_taken: int = 0
+    max_instructions: int = 500_000_000
+
+
+class Machine:
+    """Interpreter for native programs with optional PMU sampling."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Memory,
+        pmu_config: PmuConfig | None = None,
+        kernel=None,
+    ):
+        self.program = program
+        self.memory = memory
+        self.regs: list = [0] * NUM_REGS
+        self.caches = CacheHierarchy()
+        self.predictor = BranchPredictor()
+        self.state = MachineState()
+        self.pmu_config = pmu_config
+        self.samples = SampleBuffer()
+        self.call_stack: list[int] = []
+        self.output: list[tuple] = []
+        self.kernel = kernel
+        self._countdown = pmu_config.period if pmu_config else 0
+        self._jitter = 0x5DEECE66D  # deterministic LCG state
+        self._external_ip_rotor = 0
+        stack_base = memory.alloc(STACK_BYTES, "stack")
+        self.stack_base = stack_base
+        self.stack_end = stack_base + STACK_BYTES
+        self.regs[15] = self.stack_end  # stack grows downward
+
+    # ------------------------------------------------------------------
+    # sampling
+
+    def _take_sample(self, ip: int, memaddr: int | None) -> None:
+        config = self.pmu_config
+        depth = len(self.call_stack)
+        sample = Sample(
+            ip=ip,
+            tsc=self.state.cycles,
+            registers=tuple(self.regs) if config.record_registers else None,
+            callstack=(
+                tuple(ret - 1 for ret in self.call_stack if ret >= 0)
+                if config.record_callstack
+                else None
+            ),
+            memaddr=memaddr if config.record_memaddr else None,
+        )
+        cost = config.sample_cost(depth)
+        cost += self.samples.record(sample)
+        self.state.cycles += cost
+        self.state.sampling_cycles += cost
+        self.state.samples_taken += 1
+        self._reset_countdown(config)
+
+    def _reset_countdown(self, config) -> None:
+        """Re-arm the sampling counter with a small deterministic jitter.
+
+        A fixed period aliases with loop bodies whose event count divides it
+        — every sample then hits the same instruction (the aliasing effect
+        §4.1 warns about).  Hardware/perf avoid this by randomizing the
+        period; we use a tiny LCG so runs stay reproducible."""
+        period = config.period
+        if period >= 16:
+            self._jitter = (self._jitter * 1103515245 + 12345) & 0x7FFFFFFF
+            spread = period >> 3
+            self._countdown = period + self._jitter % spread - (spread >> 1)
+        else:
+            self._countdown = period
+
+    def advance_external(
+        self,
+        fn_info: FunctionInfo,
+        cycles: int,
+        instructions: int,
+        loads: int = 0,
+        addr: int | None = None,
+    ) -> None:
+        """Account for work done outside interpreted code (kernel calls).
+
+        The event stream still advances, so samples can land inside the
+        external function's code range — this is how kernel samples appear
+        in attribution reports (Table 2).
+        """
+        self.state.cycles += cycles
+        self.state.instructions += instructions
+        self.state.loads += loads
+        self.state.kernel_cycles += cycles
+        config = self.pmu_config
+        if config is None:
+            return
+        event = config.event
+        if event is Event.INSTRUCTIONS:
+            increments = instructions
+        elif event is Event.CYCLES:
+            increments = cycles
+        elif event is Event.LOADS:
+            increments = loads
+        else:
+            increments = 0
+        span = max(1, fn_info.end - fn_info.start)
+        while increments >= self._countdown:
+            increments -= self._countdown
+            fake_ip = fn_info.start + (self._external_ip_rotor % span)
+            self._external_ip_rotor += 1
+            self._take_sample(fake_ip, addr)  # re-arms the countdown
+        self._countdown -= increments
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def call(self, entry_ip: int, args: tuple = ()) -> int | float:
+        """Run the function at ``entry_ip`` to completion; return r0."""
+        regs = self.regs
+        for i, value in enumerate(args):
+            regs[i] = value
+        self._run(entry_ip)
+        return regs[0]
+
+    def _run(self, entry_ip: int) -> None:  # noqa: C901 - interpreter core
+        code = self.program.code
+        words = self.memory.words
+        regs = self.regs
+        caches = self.caches
+        predictor = self.predictor
+        state = self.state
+        config = self.pmu_config
+        sample_on_instr = config is not None and config.event is Event.INSTRUCTIONS
+        sample_on_cycles = config is not None and config.event is Event.CYCLES
+        sample_on_loads = config is not None and config.event is Event.LOADS
+        sample_on_l1 = config is not None and config.event is Event.L1_MISS
+        sample_on_brmiss = config is not None and config.event is Event.BRANCH_MISS
+
+        self.call_stack.append(-1)
+        ip = entry_ip
+        cycles = state.cycles
+        instructions = state.instructions
+        max_instructions = state.max_instructions
+        op_names = Opcode  # local alias
+
+        while True:
+            try:
+                ins = code[ip]
+            except IndexError:
+                raise VMError("instruction fetch out of bounds", ip) from None
+            op = ins[0]
+            instructions += 1
+            if instructions > max_instructions:
+                state.cycles, state.instructions = cycles, instructions
+                raise VMError(f"instruction budget exceeded ({max_instructions})", ip)
+            cost = 1
+            memaddr = None
+
+            if op == op_names.LOAD:
+                addr = regs[ins[2]] + ins[3]
+                memaddr = addr
+                if addr & 7 or addr < 8:
+                    state.cycles, state.instructions = cycles, instructions
+                    raise VMError(f"unaligned or null load at {addr:#x}", ip)
+                try:
+                    regs[ins[1]] = words[addr >> 3]
+                except IndexError:
+                    state.cycles, state.instructions = cycles, instructions
+                    raise VMError(f"load out of bounds at {addr:#x}", ip) from None
+                cost = caches.access(addr)
+                state.loads += 1
+                if sample_on_loads:
+                    self._countdown -= 1
+                elif sample_on_l1 and cost > costs.LAT_L1:
+                    self._countdown -= 1
+            elif op == op_names.STORE:
+                addr = regs[ins[1]] + ins[3]
+                memaddr = addr
+                if addr & 7 or addr < 8:
+                    state.cycles, state.instructions = cycles, instructions
+                    raise VMError(f"unaligned or null store at {addr:#x}", ip)
+                try:
+                    words[addr >> 3] = regs[ins[2]]
+                except IndexError:
+                    state.cycles, state.instructions = cycles, instructions
+                    raise VMError(f"store out of bounds at {addr:#x}", ip) from None
+                caches.access(addr)
+                state.stores += 1
+                cost = costs.CYCLES_STORE
+            elif op == op_names.ADDI:
+                regs[ins[1]] = regs[ins[2]] + ins[3]
+            elif op == op_names.ADD:
+                regs[ins[1]] = regs[ins[2]] + regs[ins[3]]
+            elif op == op_names.MOV:
+                regs[ins[1]] = regs[ins[2]]
+            elif op == op_names.MOVI:
+                regs[ins[1]] = ins[2]
+            elif op == op_names.CMPEQ:
+                regs[ins[1]] = 1 if regs[ins[2]] == regs[ins[3]] else 0
+            elif op == op_names.CMPNE:
+                regs[ins[1]] = 1 if regs[ins[2]] != regs[ins[3]] else 0
+            elif op == op_names.CMPLT:
+                regs[ins[1]] = 1 if regs[ins[2]] < regs[ins[3]] else 0
+            elif op == op_names.CMPLE:
+                regs[ins[1]] = 1 if regs[ins[2]] <= regs[ins[3]] else 0
+            elif op == op_names.CMPGT:
+                regs[ins[1]] = 1 if regs[ins[2]] > regs[ins[3]] else 0
+            elif op == op_names.CMPGE:
+                regs[ins[1]] = 1 if regs[ins[2]] >= regs[ins[3]] else 0
+            elif op == op_names.CMPEQI:
+                regs[ins[1]] = 1 if regs[ins[2]] == ins[3] else 0
+            elif op == op_names.CMPNEI:
+                regs[ins[1]] = 1 if regs[ins[2]] != ins[3] else 0
+            elif op == op_names.CMPLTI:
+                regs[ins[1]] = 1 if regs[ins[2]] < ins[3] else 0
+            elif op == op_names.CMPLEI:
+                regs[ins[1]] = 1 if regs[ins[2]] <= ins[3] else 0
+            elif op == op_names.CMPGTI:
+                regs[ins[1]] = 1 if regs[ins[2]] > ins[3] else 0
+            elif op == op_names.CMPGEI:
+                regs[ins[1]] = 1 if regs[ins[2]] >= ins[3] else 0
+            elif op == op_names.BRZ:
+                taken = regs[ins[1]] == 0
+                miss = predictor.record(ip, taken)
+                cost = costs.CYCLES_BRANCH + (costs.CYCLES_BRANCH_MISS if miss else 0)
+                if miss and sample_on_brmiss:
+                    self._countdown -= 1
+                if taken:
+                    cycles += cost
+                    if sample_on_instr:
+                        self._countdown -= 1
+                    elif sample_on_cycles:
+                        self._countdown -= cost
+                    if self._countdown <= 0 and config is not None:
+                        state.cycles, state.instructions = cycles, instructions
+                        self._take_sample(ip, None)
+                        cycles, instructions = state.cycles, state.instructions
+                    ip = ins[2]
+                    continue
+                cycles += cost
+                ip += 1
+                if sample_on_instr:
+                    self._countdown -= 1
+                elif sample_on_cycles:
+                    self._countdown -= cost
+                if self._countdown <= 0 and config is not None:
+                    state.cycles, state.instructions = cycles, instructions
+                    self._take_sample(ip - 1, None)
+                    cycles, instructions = state.cycles, state.instructions
+                continue
+            elif op == op_names.BRNZ:
+                taken = regs[ins[1]] != 0
+                miss = predictor.record(ip, taken)
+                cost = costs.CYCLES_BRANCH + (costs.CYCLES_BRANCH_MISS if miss else 0)
+                if miss and sample_on_brmiss:
+                    self._countdown -= 1
+                if taken:
+                    cycles += cost
+                    if sample_on_instr:
+                        self._countdown -= 1
+                    elif sample_on_cycles:
+                        self._countdown -= cost
+                    if self._countdown <= 0 and config is not None:
+                        state.cycles, state.instructions = cycles, instructions
+                        self._take_sample(ip, None)
+                        cycles, instructions = state.cycles, state.instructions
+                    ip = ins[2]
+                    continue
+                cycles += cost
+                ip += 1
+                if sample_on_instr:
+                    self._countdown -= 1
+                elif sample_on_cycles:
+                    self._countdown -= cost
+                if self._countdown <= 0 and config is not None:
+                    state.cycles, state.instructions = cycles, instructions
+                    self._take_sample(ip - 1, None)
+                    cycles, instructions = state.cycles, state.instructions
+                continue
+            elif op == op_names.JMP:
+                cycles += costs.CYCLES_BRANCH
+                if sample_on_instr:
+                    self._countdown -= 1
+                elif sample_on_cycles:
+                    self._countdown -= costs.CYCLES_BRANCH
+                if self._countdown <= 0 and config is not None:
+                    state.cycles, state.instructions = cycles, instructions
+                    self._take_sample(ip, None)
+                    cycles, instructions = state.cycles, state.instructions
+                ip = ins[1]
+                continue
+            elif op == op_names.SUB:
+                regs[ins[1]] = regs[ins[2]] - regs[ins[3]]
+            elif op == op_names.MUL:
+                r = regs[ins[2]] * regs[ins[3]]
+                if isinstance(r, int):
+                    r &= _MASK64
+                    if r & _SIGN64:
+                        r -= 1 << 64
+                regs[ins[1]] = r
+                cost = costs.CYCLES_MUL
+            elif op == op_names.MULI:
+                r = regs[ins[2]] * ins[3]
+                if isinstance(r, int):
+                    r &= _MASK64
+                    if r & _SIGN64:
+                        r -= 1 << 64
+                regs[ins[1]] = r
+                cost = costs.CYCLES_MUL
+            elif op == op_names.SDIV:
+                try:
+                    regs[ins[1]] = _sdiv(regs[ins[2]], regs[ins[3]])
+                except ZeroDivisionError:
+                    state.cycles, state.instructions = cycles, instructions
+                    raise VMError("division by zero", ip) from None
+                cost = costs.CYCLES_DIV
+            elif op == op_names.SREM:
+                b = regs[ins[3]]
+                if b == 0:
+                    state.cycles, state.instructions = cycles, instructions
+                    raise VMError("remainder by zero", ip)
+                a = regs[ins[2]]
+                regs[ins[1]] = a - b * _sdiv(a, b)
+                cost = costs.CYCLES_DIV
+            elif op == op_names.AND:
+                regs[ins[1]] = regs[ins[2]] & regs[ins[3]]
+            elif op == op_names.OR:
+                regs[ins[1]] = regs[ins[2]] | regs[ins[3]]
+            elif op == op_names.XOR:
+                regs[ins[1]] = regs[ins[2]] ^ regs[ins[3]]
+            elif op == op_names.SHL:
+                regs[ins[1]] = (regs[ins[2]] << (regs[ins[3]] & 63)) & _MASK64
+            elif op == op_names.SHR:
+                regs[ins[1]] = (regs[ins[2]] & _MASK64) >> (regs[ins[3]] & 63)
+            elif op == op_names.ROTR:
+                v = regs[ins[2]] & _MASK64
+                s = regs[ins[3]] & 63
+                regs[ins[1]] = ((v >> s) | (v << (64 - s))) & _MASK64
+            elif op == op_names.ANDI:
+                regs[ins[1]] = regs[ins[2]] & ins[3]
+            elif op == op_names.SHLI:
+                regs[ins[1]] = (regs[ins[2]] << (ins[3] & 63)) & _MASK64
+            elif op == op_names.SHRI:
+                regs[ins[1]] = (regs[ins[2]] & _MASK64) >> (ins[3] & 63)
+            elif op == op_names.XORI:
+                regs[ins[1]] = regs[ins[2]] ^ ins[3]
+            elif op == op_names.FDIV:
+                b = regs[ins[3]]
+                if b == 0:
+                    state.cycles, state.instructions = cycles, instructions
+                    raise VMError("fdiv by zero", ip)
+                regs[ins[1]] = regs[ins[2]] / b
+                cost = costs.CYCLES_DIV
+            elif op == op_names.CVTIF:
+                regs[ins[1]] = float(regs[ins[2]])
+            elif op == op_names.CVTFI:
+                regs[ins[1]] = int(regs[ins[2]])
+            elif op == op_names.CRC32:
+                regs[ins[1]] = crc32_mix(regs[ins[2]], regs[ins[3]])
+                cost = costs.CYCLES_CRC32
+            elif op == op_names.SELECT:
+                rt, rf = ins[3]
+                regs[ins[1]] = regs[rt] if regs[ins[2]] else regs[rf]
+            elif op == op_names.MIN:
+                a, b = regs[ins[2]], regs[ins[3]]
+                regs[ins[1]] = a if a <= b else b
+            elif op == op_names.MAX:
+                a, b = regs[ins[2]], regs[ins[3]]
+                regs[ins[1]] = a if a >= b else b
+            elif op == op_names.CALL:
+                cost = costs.CYCLES_CALL
+                cycles += cost
+                self.call_stack.append(ip + 1)
+                if len(self.call_stack) > 256:
+                    state.cycles, state.instructions = cycles, instructions
+                    raise VMError("call stack overflow", ip)
+                if sample_on_instr:
+                    self._countdown -= 1
+                elif sample_on_cycles:
+                    self._countdown -= cost
+                if self._countdown <= 0 and config is not None:
+                    state.cycles, state.instructions = cycles, instructions
+                    self._take_sample(ip, None)
+                    cycles, instructions = state.cycles, state.instructions
+                ip = ins[1]
+                continue
+            elif op == op_names.RET:
+                cost = costs.CYCLES_RET
+                cycles += cost
+                ret = self.call_stack.pop()
+                if sample_on_instr:
+                    self._countdown -= 1
+                elif sample_on_cycles:
+                    self._countdown -= cost
+                if self._countdown <= 0 and config is not None:
+                    state.cycles, state.instructions = cycles, instructions
+                    self._take_sample(ip, None)
+                    cycles, instructions = state.cycles, state.instructions
+                if ret < 0:
+                    state.cycles, state.instructions = cycles, instructions
+                    return
+                ip = ret
+                continue
+            elif op == op_names.KCALL:
+                state.cycles, state.instructions = cycles, instructions
+                if self.kernel is None:
+                    raise VMError("kernel call without a kernel", ip)
+                self.kernel.call(self, ins[1])
+                cycles, instructions = state.cycles, state.instructions
+                ip += 1
+                continue
+            elif op == op_names.NOP:
+                pass
+            elif op == op_names.HALT:
+                state.cycles, state.instructions = cycles, instructions
+                self.call_stack.pop()
+                return
+            else:
+                state.cycles, state.instructions = cycles, instructions
+                raise VMError(f"illegal opcode {op}", ip)
+
+            cycles += cost
+            if sample_on_instr:
+                self._countdown -= 1
+            elif sample_on_cycles:
+                self._countdown -= cost
+            if self._countdown <= 0 and config is not None:
+                state.cycles, state.instructions = cycles, instructions
+                self._take_sample(ip, memaddr)
+                cycles, instructions = state.cycles, state.instructions
+            ip += 1

@@ -1,0 +1,109 @@
+"""Flat simulated memory with a bump allocator.
+
+The machine is a 64-bit word machine: every load/store moves one 8-byte,
+8-byte-aligned word.  Addresses are byte addresses (so cache simulation and
+memory-access profiles speak the same units as the paper) but storage is a
+Python list of words for interpreter speed.  A word may hold a Python int
+(i64 semantics) or a float (f64); the backend's type discipline guarantees
+generated code never confuses the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VMError
+
+WORD = 8
+NULL = 0
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named allocation extent, used for debugging and report labels."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class Memory:
+    """Word-addressable simulated memory with bump allocation.
+
+    Address 0 is reserved as the null pointer: allocation starts at one word
+    past zero so generated code can use ``0`` for "no entry" (e.g. empty hash
+    chain slots) and any dereference of it faults.
+    """
+
+    def __init__(self, size_bytes: int = 1 << 24):
+        if size_bytes % WORD:
+            raise ValueError("memory size must be word aligned")
+        self.words: list = [0] * (size_bytes // WORD)
+        self.size = size_bytes
+        self._brk = WORD  # keep address 0 unmapped (null)
+        self.regions: list[Region] = []
+
+    # -- allocation ------------------------------------------------------
+
+    def alloc(self, nbytes: int, name: str = "anon") -> int:
+        """Bump-allocate ``nbytes`` (rounded up to words), zero-filled."""
+        nbytes = (nbytes + WORD - 1) & ~(WORD - 1)
+        base = self._brk
+        new_brk = base + nbytes
+        if new_brk > self.size:
+            self._grow(new_brk)
+        self._brk = new_brk
+        # Freshly bumped memory may contain stale data from a released arena.
+        zero_from = base // WORD
+        zero_to = new_brk // WORD
+        for i in range(zero_from, zero_to):
+            self.words[i] = 0
+        self.regions.append(Region(name, base, nbytes))
+        return base
+
+    def mark(self) -> int:
+        """Return the current break, for arena-style release."""
+        return self._brk
+
+    def release(self, mark: int) -> None:
+        """Release all allocations made after :meth:`mark` returned ``mark``."""
+        if not WORD <= mark <= self._brk:
+            raise VMError(f"bad release mark {mark}")
+        self._brk = mark
+        self.regions = [r for r in self.regions if r.base < mark]
+
+    def _grow(self, needed: int) -> None:
+        new_size = self.size
+        while new_size < needed:
+            new_size *= 2
+        self.words.extend([0] * ((new_size - self.size) // WORD))
+        self.size = new_size
+
+    # -- access (checked; the interpreter fast path bypasses these) -------
+
+    def read(self, addr: int):
+        if addr & 7 or not WORD <= addr < self._brk:
+            raise VMError(f"bad read at {addr:#x}")
+        return self.words[addr // WORD]
+
+    def write(self, addr: int, value) -> None:
+        if addr & 7 or not WORD <= addr < self._brk:
+            raise VMError(f"bad write at {addr:#x}")
+        self.words[addr // WORD] = value
+
+    def region_of(self, addr: int) -> Region | None:
+        """Find the allocation containing ``addr`` (linear scan; debug only)."""
+        for region in reversed(self.regions):
+            if region.contains(addr):
+                return region
+        return None
+
+    def used_bytes(self) -> int:
+        return self._brk

@@ -1,0 +1,113 @@
+"""The PEBS-like Performance Monitoring Unit.
+
+The PMU counts a configured hardware event and, every ``period`` occurrences,
+records a sample into an in-memory buffer — exactly the structure of Intel
+PEBS as the paper describes it (§2.2): the record is written by the
+"hardware" at a fixed cost, the kernel is only involved to drain a full
+buffer, and optional payloads (register file, linear memory address) cost
+extra.  Call-stack capture is *not* a PEBS payload: it requires taking an
+interrupt and walking frames, which is what makes it an order of magnitude
+more expensive (Fig. 13).
+
+Timestamps are the machine's cycle counter — the TSC analogue; the paper had
+to patch the Linux kernel to get these, we simply expose them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.vm import costs
+
+
+class Event(enum.Enum):
+    """Sampleable hardware events (a subset of the paper's)."""
+
+    INSTRUCTIONS = "INST_RETIRED.PREC_DIST"
+    CYCLES = "CPU_CLK_UNHALTED"
+    LOADS = "MEM_INST_RETIRED.ALL_LOADS"
+    L1_MISS = "MEM_LOAD_RETIRED.L1_MISS"
+    BRANCH_MISS = "BR_MISP_RETIRED.ALL_BRANCHES"
+
+
+@dataclass(frozen=True)
+class PmuConfig:
+    """What to sample and what to record with each sample."""
+
+    event: Event = Event.INSTRUCTIONS
+    period: int = costs.DEFAULT_PERIOD_INSTRUCTIONS
+    record_registers: bool = False
+    record_callstack: bool = False
+    record_memaddr: bool = False
+
+    def __post_init__(self):
+        if self.period <= 0:
+            raise ValueError("sampling period must be positive")
+
+    def sample_cost(self, callstack_depth: int = 0) -> int:
+        """Cycles charged for recording one sample under this config."""
+        if self.record_callstack:
+            cost = costs.INTERRUPT_CYCLES
+            cost += costs.CALLSTACK_FRAME_CYCLES * max(1, callstack_depth)
+        else:
+            cost = costs.PEBS_RECORD_CYCLES
+        if self.record_registers:
+            cost += costs.PEBS_REGS_EXTRA_CYCLES
+        if self.record_memaddr:
+            cost += costs.PEBS_MEMADDR_EXTRA_CYCLES
+        return cost
+
+    def sample_size_bytes(self) -> int:
+        """Stored size of one sample record (§6.2 storage discussion)."""
+        size = 16  # ip + tsc
+        if self.record_registers:
+            size += 38  # paper: 54 B total with IP, time, registers
+        if self.record_memaddr:
+            size += 8
+        if self.record_callstack:
+            size += 211  # paper: 265 B with call-stack information
+        return size
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One profiling sample."""
+
+    ip: int
+    tsc: int
+    registers: tuple | None = None
+    callstack: tuple[int, ...] | None = None
+    memaddr: int | None = None
+
+
+@dataclass
+class SampleBuffer:
+    """The PEBS buffer plus drain bookkeeping.
+
+    ``samples`` accumulates everything ever recorded (the drained output the
+    post-processing phase reads); ``pending`` models the hardware buffer
+    occupancy that forces kernel flushes.
+    """
+
+    capacity: int = costs.PEBS_BUFFER_SAMPLES
+    samples: list[Sample] = field(default_factory=list)
+    pending: int = 0
+    flushes: int = 0
+    flush_cycles: int = 0
+
+    def record(self, sample: Sample) -> int:
+        """Store a sample; return extra cycles if a kernel flush occurred."""
+        self.samples.append(sample)
+        self.pending += 1
+        if self.pending >= self.capacity:
+            drained = self.pending
+            self.pending = 0
+            self.flushes += 1
+            cost = drained * costs.BUFFER_FLUSH_PER_SAMPLE
+            self.flush_cycles += cost
+            return cost
+        return 0
+
+    def storage_bytes(self, config: PmuConfig) -> int:
+        return len(self.samples) * config.sample_size_bytes()

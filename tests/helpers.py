@@ -1,0 +1,49 @@
+"""Shared test fixtures: tiny hand-built catalogs and query helpers."""
+
+from __future__ import annotations
+
+from repro.catalog import Catalog, Column, DataType, Schema
+from repro.plan.interpret import Interpreter
+from repro.plan.physical import PlannerOptions, plan_physical
+from repro.sql import parse
+from repro.sql.binder import Binder
+
+
+def small_catalog() -> Catalog:
+    """Two small joinable tables with every data type."""
+    catalog = Catalog()
+    t = DataType
+    items = catalog.create_table("items", Schema([
+        Column("id", t.INT),
+        Column("kind", t.STRING),
+        Column("price", t.DECIMAL),
+        Column("sold", t.DATE),
+    ]))
+    items.extend([
+        (1, "apple", 1.50, "2020-01-01"),
+        (2, "banana", 0.75, "2020-01-02"),
+        (3, "apple", 2.00, "2020-02-01"),
+        (4, "cherry", 5.25, "2020-02-15"),
+        (5, "banana", 0.60, "2020-03-01"),
+        (6, "apple", 1.80, "2021-01-01"),
+    ])
+    kinds = catalog.create_table("kinds", Schema([
+        Column("name", t.STRING),
+        Column("tasty", t.INT),
+    ]))
+    kinds.extend([
+        ("apple", 1),
+        ("banana", 0),
+        ("cherry", 1),
+    ])
+    catalog.finalize()
+    return catalog
+
+
+def run_interpreted(catalog: Catalog, sql: str, hint=None, options=None):
+    """parse -> bind -> physical plan -> reference interpreter."""
+    bound = Binder(catalog).bind(parse(sql), join_order_hint=hint)
+    physical = plan_physical(bound.plan, bound.model, options or PlannerOptions())
+    interp = Interpreter()
+    rows = interp.run(physical)
+    return rows, physical, interp

@@ -1,0 +1,144 @@
+"""Unit tests for schemas, string dictionary, tables, and the catalog."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, DataType, Schema, StringDictionary, Table
+from repro.catalog.schema import decode_date, encode_date, encode_decimal
+from repro.catalog.strings import like_to_regex
+from repro.errors import CatalogError
+
+
+def test_schema_lookup_and_duplicates():
+    schema = Schema([Column("a", DataType.INT), Column("b", DataType.STRING)])
+    assert schema.index_of("b") == 1
+    assert schema.column("a").dtype is DataType.INT
+    assert schema.has_column("a") and not schema.has_column("c")
+    with pytest.raises(CatalogError):
+        schema.index_of("zzz")
+    with pytest.raises(CatalogError):
+        Schema([Column("x", DataType.INT), Column("x", DataType.INT)])
+
+
+def test_date_encoding_roundtrip():
+    encoded = encode_date("1995-04-01")
+    assert decode_date(encoded) == "1995-04-01"
+    assert encode_date("1995-04-02") == encoded + 1
+    with pytest.raises(CatalogError):
+        encode_date("not-a-date")
+
+
+def test_decimal_encoding():
+    assert encode_decimal(1.50) == 150
+    assert encode_decimal(0.05) == 5
+    assert encode_decimal(3) == 300
+
+
+def test_dictionary_is_order_preserving():
+    d = StringDictionary()
+    for s in ["pear", "apple", "zebra", "mango"]:
+        d.collect(s)
+    d.freeze()
+    ids = [d.id_of(s) for s in ["apple", "mango", "pear", "zebra"]]
+    assert ids == sorted(ids)
+    assert d.value_of(d.id_of("mango")) == "mango"
+
+
+def test_dictionary_rank_brackets_absent_values():
+    d = StringDictionary()
+    for s in ["apple", "cherry"]:
+        d.collect(s)
+    d.freeze()
+    assert d.rank("banana") == 1  # between apple (0) and cherry (1)
+    assert d.rank("aaa") == 0
+    assert d.rank("zzz") == 2
+
+
+def test_dictionary_lifecycle_errors():
+    d = StringDictionary()
+    with pytest.raises(CatalogError):
+        d.id_of("x")
+    d.collect("x")
+    d.freeze()
+    with pytest.raises(CatalogError):
+        d.collect("y")
+    with pytest.raises(CatalogError):
+        d.freeze()
+    with pytest.raises(CatalogError):
+        d.id_of("missing")
+    assert d.lookup("missing") is None
+    with pytest.raises(CatalogError):
+        d.value_of(99)
+
+
+def test_like_matching():
+    d = StringDictionary()
+    for s in ["PROMO BRUSHED TIN", "STANDARD BRUSHED TIN", "PROMO PLATED BRASS"]:
+        d.collect(s)
+    d.freeze()
+    promo = d.matching_ids("PROMO%")
+    assert promo == {d.id_of("PROMO BRUSHED TIN"), d.id_of("PROMO PLATED BRASS")}
+    assert d.matching_ids("%TIN") == {
+        d.id_of("PROMO BRUSHED TIN"), d.id_of("STANDARD BRUSHED TIN")
+    }
+    assert d.matching_ids("x_z") == set()
+
+
+def test_like_to_regex_escapes_metacharacters():
+    regex = like_to_regex("a.b%")
+    assert regex.fullmatch("a.bcd")
+    assert not regex.fullmatch("axbcd")
+    underscore = like_to_regex("a_c")
+    assert underscore.fullmatch("abc") and not underscore.fullmatch("abbc")
+
+
+def test_table_append_and_encode():
+    schema = Schema([
+        Column("k", DataType.INT),
+        Column("s", DataType.STRING),
+        Column("d", DataType.DATE),
+        Column("m", DataType.DECIMAL),
+    ])
+    table = Table("t", schema)
+    table.append((1, "hi", "2000-01-01", 2.5))
+    with pytest.raises(CatalogError):
+        table.append((1, "short"))
+    d = StringDictionary()
+    table.collect_strings(d)
+    d.freeze()
+    table.encode(d)
+    assert table.columns[1] == [d.id_of("hi")]
+    assert table.columns[2] == [encode_date("2000-01-01")]
+    assert table.columns[3] == [250]
+    with pytest.raises(CatalogError):
+        table.encode(d)
+    with pytest.raises(CatalogError):
+        table.append((2, "late", "2000-01-02", 1.0))
+
+
+def test_table_stats():
+    schema = Schema([Column("k", DataType.INT)])
+    table = Table("t", schema)
+    for v in (5, 1, 5, 9):
+        table.append((v,))
+    d = StringDictionary()
+    d.freeze()
+    table.encode(d)
+    stats = table.stats_for(0)
+    assert stats.min_value == 1 and stats.max_value == 9 and stats.distinct == 3
+    assert table.stats_for(0) is stats  # cached
+
+
+def test_catalog_protocol():
+    catalog = Catalog()
+    schema = Schema([Column("a", DataType.INT)])
+    catalog.create_table("T", schema)
+    assert catalog.has_table("t")
+    with pytest.raises(CatalogError):
+        catalog.create_table("t", schema)
+    with pytest.raises(CatalogError):
+        catalog.table("nope")
+    catalog.finalize()
+    with pytest.raises(CatalogError):
+        catalog.finalize()
+    with pytest.raises(CatalogError):
+        catalog.create_table("late", schema)

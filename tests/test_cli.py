@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_run_named_query():
+    code, text = run_cli(["--query", "q6", "--scale", "0.0005"])
+    assert code == 0
+    assert "revenue" in text
+    assert "cycles]" in text
+
+
+def test_run_raw_sql():
+    code, text = run_cli([
+        "--sql", "select count(*) n from nation", "--scale", "0.0005",
+    ])
+    assert code == 0
+    assert "n" in text.splitlines()[0]
+    assert "25" in text
+
+
+def test_explain_mode():
+    code, text = run_cli([
+        "--sql", "select count(*) n from lineitem where l_quantity < 5",
+        "--scale", "0.0005", "--explain",
+    ])
+    assert code == 0
+    assert "scan lineitem" in text
+    assert "cycles]" not in text  # nothing executed
+
+
+def test_profile_with_reports(tmp_path):
+    json_path = tmp_path / "profile.json"
+    folded_path = tmp_path / "stacks.folded"
+    code, text = run_cli([
+        "--query", "fig9", "--scale", "0.0005", "--profile",
+        "--timeline", "--pipelines",
+        "--json", str(json_path), "--folded", str(folded_path),
+    ])
+    assert code == 0
+    assert "samples:" in text
+    assert "activity over time:" in text
+    assert "pipeline 0" in text
+    document = json.loads(json_path.read_text())
+    assert document["summary"]["total_samples"] > 0
+    assert folded_path.read_text().strip()
+
+
+def test_profile_callstack_mode():
+    code, text = run_cli([
+        "--query", "q6", "--scale", "0.0005", "--profile",
+        "--mode", "callstack", "--period", "2000",
+    ])
+    assert code == 0
+    assert "% operators" in text
+
+
+def test_parallel_execution_via_cli():
+    code, text = run_cli([
+        "--query", "q6", "--scale", "0.0005", "--workers", "3",
+    ])
+    assert code == 0
+
+
+def test_parser_rejects_missing_source():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_query():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--query", "q99"])
+
+
+def test_sql_error_gets_caret_diagnostics():
+    code, text = run_cli([
+        "--sql", "select l_quantity frm lineitem", "--scale", "0.0005",
+    ])
+    assert code == 1
+    assert "^" in text
+    assert "line 1" in text
+
+
+def test_cli_save_session(tmp_path):
+    session_dir = tmp_path / "session"
+    code, text = run_cli([
+        "--query", "q6", "--scale", "0.0005", "--profile",
+        "--save-session", str(session_dir),
+    ])
+    assert code == 0
+    from repro.profiling.session import load_session
+
+    session = load_session(session_dir)
+    assert session.summary()["total_samples"] > 0
+
+
+def test_cli_dot_export(tmp_path):
+    dot_path = tmp_path / "plan.dot"
+    code, _ = run_cli([
+        "--query", "q6", "--scale", "0.0005", "--profile",
+        "--dot", str(dot_path),
+    ])
+    assert code == 0
+    dot = dot_path.read_text()
+    assert dot.startswith("digraph plan {")
+    assert "scan lineitem" in dot

@@ -1,0 +1,60 @@
+"""Tests for profile export formats (JSON, folded stacks, perf-script)."""
+
+import json
+
+import pytest
+
+from repro.data.queries import FIG9_QUERY
+from repro.profiling import export
+
+
+@pytest.fixture(scope="module")
+def profile(tpch_db):
+    return tpch_db.profile(FIG9_QUERY.sql)
+
+
+def test_json_export_roundtrips(profile):
+    document = json.loads(export.to_json(profile))
+    assert document["config"]["mode"] == "register-tagging"
+    assert document["summary"]["total_samples"] == len(profile.samples)
+    shares = [c["share"] for c in document["operator_costs"]]
+    assert shares == sorted(shares, reverse=True)
+    assert sum(shares) == pytest.approx(1.0)
+    assert len(document["samples"]) == len(profile.samples)
+    for sample in document["samples"][:20]:
+        assert sample["category"] in ("operator", "kernel", "unattributed")
+
+
+def test_json_export_without_samples(profile):
+    document = json.loads(export.to_json(profile, include_samples=False))
+    assert "samples" not in document
+    assert document["tagging_dictionary"]["entries"] > 0
+
+
+def test_folded_stacks_format(profile):
+    text = export.folded_stacks(profile)
+    lines = text.splitlines()
+    assert lines
+    total = 0.0
+    for line in lines:
+        frames, count = line.rsplit(" ", 1)
+        total += float(count)
+        assert frames
+    # weights sum to the number of samples (splits preserve mass)
+    assert total == pytest.approx(len(profile.samples), abs=0.01)
+    assert any(line.startswith("pipeline_") for line in lines)
+    assert any(";probe" in line or ";build" in line for line in lines)
+
+
+def test_folded_stacks_include_runtime_frames(profile):
+    text = export.folded_stacks(profile)
+    assert "ht_insert" in text  # shared-location samples keep their frame
+
+
+def test_perf_script_shape(profile):
+    text = export.perf_script(profile)
+    lines = text.splitlines()
+    assert len(lines) == len(profile.samples)
+    assert all("ip=0x" in line for line in lines)
+    assert any("pipeline_" in line for line in lines)
+    assert any("ht_insert" in line or "kernel" in line for line in lines)

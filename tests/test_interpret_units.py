@@ -1,0 +1,115 @@
+"""Unit tests for the reference interpreter's expression evaluation."""
+
+import pytest
+
+from repro.catalog.schema import DataType
+from repro.errors import PlanError
+from repro.plan.expr import (
+    IU,
+    BinaryExpr,
+    CaseExpr,
+    CompareExpr,
+    ConstExpr,
+    FuncExpr,
+    IURef,
+    InSetExpr,
+    LogicalExpr,
+    NotExpr,
+)
+from repro.plan.interpret import evaluate
+
+I = DataType.INT
+D = DataType.DECIMAL
+F = DataType.FLOAT
+B = DataType.BOOL
+
+
+def c(value, dtype=I):
+    return ConstExpr(value, dtype)
+
+
+def test_arithmetic_int():
+    assert evaluate(BinaryExpr("+", c(2), c(3)), {}) == 5
+    assert evaluate(BinaryExpr("-", c(2), c(3)), {}) == -1
+    assert evaluate(BinaryExpr("*", c(4), c(3)), {}) == 12
+
+
+def test_decimal_multiplication_rescales_and_truncates():
+    # 1.50 * 0.33 = 0.495 -> 49 cents (truncated toward zero)
+    assert evaluate(BinaryExpr("*", c(150, D), c(33, D)), {}) == 49
+    # negative truncation toward zero, matching the VM's SDIV
+    assert evaluate(BinaryExpr("*", c(-150, D), c(33, D)), {}) == -49
+
+
+def test_decimal_by_int_keeps_cents():
+    assert evaluate(BinaryExpr("*", c(150, D), c(2, I)), {}) == 300
+
+
+def test_division_normalizes_to_natural_units():
+    # 1.50 / 3 = 0.5 (not 50)
+    assert evaluate(BinaryExpr("/", c(150, D), c(3, I)), {}) == pytest.approx(0.5)
+    assert evaluate(BinaryExpr("/", c(7, I), c(2, I)), {}) == pytest.approx(3.5)
+
+
+def test_float_result_normalizes_decimal_operands():
+    expr = BinaryExpr("+", c(150, D), c(0.25, F))
+    assert evaluate(expr, {}) == pytest.approx(1.75)
+
+
+def test_comparisons_and_logic():
+    assert evaluate(CompareExpr("<", c(1), c(2)), {}) == 1
+    assert evaluate(CompareExpr("<>", c(1), c(1)), {}) == 0
+    both = LogicalExpr("and", (CompareExpr("<", c(1), c(2)),
+                               CompareExpr(">", c(1), c(2))))
+    assert evaluate(both, {}) == 0
+    either = LogicalExpr("or", (CompareExpr("<", c(1), c(2)),
+                                CompareExpr(">", c(1), c(2))))
+    assert evaluate(either, {}) == 1
+    assert evaluate(NotExpr(CompareExpr("=", c(1), c(1))), {}) == 0
+
+
+def test_in_set_and_case():
+    iu = IU("x", I)
+    member = InSetExpr(IURef(iu), frozenset({1, 5, 9}))
+    assert evaluate(member, {iu.id: 5}) == 1
+    assert evaluate(member, {iu.id: 4}) == 0
+    case = CaseExpr(
+        whens=((CompareExpr(">", IURef(iu), c(0)), c(10)),),
+        default=c(20),
+    )
+    assert evaluate(case, {iu.id: 3}) == 10
+    assert evaluate(case, {iu.id: -3}) == 20
+
+
+def test_functions():
+    import datetime
+
+    day = datetime.date(1995, 7, 1).toordinal()
+    assert evaluate(FuncExpr("year", c(day, DataType.DATE)), {}) == 1995
+    assert evaluate(FuncExpr("to_cents", c(3)), {}) == 300
+    assert evaluate(FuncExpr("float", c(3)), {}) == 3.0
+
+
+def test_groupjoin_rejects_duplicate_build_keys():
+    from repro.plan.interpret import Interpreter
+    from repro.plan.physical import PlannerOptions, plan_physical
+    from repro.sql import parse
+    from repro.sql.binder import Binder
+
+    from tests.helpers import small_catalog
+
+    catalog = small_catalog()
+    # group by kinds.name joined from items side with duplicate kinds rows
+    catalog.tables["kinds"].encoded = True  # already encoded by fixture
+    bound = Binder(catalog).bind(parse(
+        "select i.kind, count(*) n from items i, items i2 "
+        "where i.kind = i2.kind group by i.kind"
+    ))
+    physical = plan_physical(
+        bound.plan, bound.model, PlannerOptions(enable_groupjoin=True)
+    )
+    from repro.plan.physical import PhysicalGroupJoin
+
+    if any(isinstance(n, PhysicalGroupJoin) for n in physical.walk()):
+        with pytest.raises(PlanError, match="unique"):
+            Interpreter().run(physical)

@@ -1,0 +1,87 @@
+"""Tests for offline profiling sessions (the §5.2.2 metadata-file flow)."""
+
+import pytest
+
+from repro.data.queries import FIG9_QUERY
+from repro.errors import ProfilingError
+from repro.profiling.session import load_session, save_session
+
+
+@pytest.fixture(scope="module")
+def saved(tpch_db, tmp_path_factory):
+    profile = tpch_db.profile(FIG9_QUERY.sql)
+    directory = tmp_path_factory.mktemp("session")
+    save_session(profile, directory)
+    return profile, directory
+
+
+def test_session_files_written(saved):
+    _, directory = saved
+    for name in ("tagging.json", "program.json", "samples.jsonl", "meta.json"):
+        assert (directory / name).exists()
+
+
+def test_offline_summary_matches_live(saved):
+    profile, directory = saved
+    session = load_session(directory)
+    live = profile.attribution_summary()
+    offline = session.summary()
+    assert offline["total_samples"] == live.total_samples
+    assert offline["operator_share"] == pytest.approx(live.operator_share)
+    assert offline["kernel_share"] == pytest.approx(live.kernel_share)
+    assert offline["unattributed_share"] == pytest.approx(
+        live.unattributed_share
+    )
+
+
+def test_offline_operator_weights_match_live(saved):
+    profile, directory = saved
+    session = load_session(directory)
+    live = {
+        op.label: weight
+        for op, weight in profile.processor.operator_weights(
+            profile.attributions
+        ).items()
+    }
+    offline = session.operator_weights()
+    assert set(offline) == set(live)
+    for label, weight in live.items():
+        assert offline[label] == pytest.approx(weight)
+
+
+def test_offline_register_tag_disambiguation(saved):
+    profile, directory = saved
+    session = load_session(directory)
+    runtime_records = [
+        r for r in session.samples if session._region_at(r["ip"]) == "runtime"
+    ]
+    assert runtime_records, "some samples should be in shared runtime code"
+    resolved = [
+        r for r in runtime_records if session.attribute(r)[0] == "operator"
+    ]
+    assert len(resolved) / len(runtime_records) > 0.9
+
+
+def test_offline_callstack_session(tpch_db, tmp_path):
+    from repro import ProfilerConfig, ProfilingMode
+
+    profile = tpch_db.profile(
+        FIG9_QUERY.sql, ProfilerConfig(mode=ProfilingMode.CALLSTACK)
+    )
+    save_session(profile, tmp_path)
+    session = load_session(tmp_path)
+    summary = session.summary()
+    live = profile.attribution_summary()
+    assert summary["operator_share"] == pytest.approx(live.operator_share)
+
+
+def test_load_missing_session(tmp_path):
+    with pytest.raises(ProfilingError):
+        load_session(tmp_path / "nope")
+
+
+def test_meta_round_trip(saved):
+    profile, directory = saved
+    session = load_session(directory)
+    assert session.meta["period"] == profile.config.period
+    assert session.meta["cycles"] == profile.result.cycles

@@ -1,0 +1,73 @@
+"""Unit tests for the cache hierarchy and branch predictor."""
+
+from repro.vm import costs
+from repro.vm.branch import BranchPredictor
+from repro.vm.cache import CacheHierarchy, CacheLevel
+
+
+def test_cache_level_hit_after_miss():
+    level = CacheLevel(1024, 2, 64)
+    assert level.access(5) is False
+    assert level.access(5) is True
+
+
+def test_cache_level_lru_eviction():
+    level = CacheLevel(128, 2, 64)  # 1 set, 2 ways
+    level.access(1)
+    level.access(2)
+    level.access(1)  # 1 is now MRU
+    level.access(3)  # evicts 2
+    assert level.access(1) is True
+    assert level.access(2) is False
+
+
+def test_hierarchy_latencies():
+    h = CacheHierarchy()
+    first = h.access(0x1000)
+    assert first == costs.LAT_MEM
+    assert h.access(0x1000) == costs.LAT_L1
+    assert h.l1_misses == 1 and h.l2_misses == 1
+
+
+def test_hierarchy_l2_backstop():
+    h = CacheHierarchy()
+    h.access(0x1000)
+    # Evict 0x1000's line from L1 by filling its set: same set index needs
+    # addresses that differ in tag but share (line & set_mask).
+    nsets = len(h.l1.sets)
+    for i in range(1, costs.L1_WAYS + 1):
+        h.access(0x1000 + i * nsets * costs.CACHE_LINE)
+    latency = h.access(0x1000)
+    assert latency == costs.LAT_L2
+
+
+def test_sequential_scan_mostly_hits():
+    h = CacheHierarchy()
+    misses_before = h.l1_misses
+    for addr in range(0, 64 * 64, 8):
+        h.access(addr)
+    # one miss per 64-byte line (8 words)
+    assert h.l1_misses - misses_before == 64
+
+
+def test_branch_predictor_learns_bias():
+    p = BranchPredictor()
+    for _ in range(100):
+        p.record(7, True)
+    assert p.mispredicts <= 2
+    assert p.branches == 100
+
+
+def test_branch_predictor_alternating_is_hard():
+    p = BranchPredictor()
+    for i in range(100):
+        p.record(7, i % 2 == 0)
+    assert p.mispredicts >= 40
+
+
+def test_branch_predictor_per_ip_state():
+    p = BranchPredictor()
+    for _ in range(50):
+        p.record(1, True)
+        p.record(2, False)
+    assert p.mispredicts <= 4

@@ -1,0 +1,79 @@
+"""Unit tests for the simulated memory."""
+
+import pytest
+
+from repro.errors import VMError
+from repro.vm.memory import WORD, Memory
+
+
+def test_alloc_is_word_aligned_and_zeroed():
+    mem = Memory(1 << 12)
+    a = mem.alloc(12, "a")
+    assert a % WORD == 0
+    b = mem.alloc(8, "b")
+    assert b >= a + 16  # 12 rounded up to 16
+    assert mem.read(a) == 0
+    assert mem.read(b) == 0
+
+
+def test_null_address_is_unmapped():
+    mem = Memory(1 << 12)
+    with pytest.raises(VMError):
+        mem.read(0)
+    with pytest.raises(VMError):
+        mem.write(0, 1)
+
+
+def test_read_write_roundtrip():
+    mem = Memory(1 << 12)
+    a = mem.alloc(32)
+    mem.write(a + 8, -42)
+    mem.write(a + 16, 3.5)
+    assert mem.read(a + 8) == -42
+    assert mem.read(a + 16) == 3.5
+
+
+def test_unaligned_access_rejected():
+    mem = Memory(1 << 12)
+    a = mem.alloc(16)
+    with pytest.raises(VMError):
+        mem.read(a + 3)
+
+
+def test_out_of_bounds_rejected():
+    mem = Memory(1 << 12)
+    mem.alloc(16)
+    with pytest.raises(VMError):
+        mem.read(1 << 20)
+
+
+def test_grow_on_demand():
+    mem = Memory(1 << 10)
+    a = mem.alloc(1 << 12)  # bigger than initial size
+    mem.write(a + (1 << 12) - 8, 7)
+    assert mem.read(a + (1 << 12) - 8) == 7
+
+
+def test_arena_release_and_reuse_zeroes():
+    mem = Memory(1 << 12)
+    mark = mem.mark()
+    a = mem.alloc(16, "scratch")
+    mem.write(a, 99)
+    mem.release(mark)
+    b = mem.alloc(16, "scratch2")
+    assert b == a  # bump pointer rewound
+    assert mem.read(b) == 0  # stale data not visible
+
+
+def test_release_bad_mark_rejected():
+    mem = Memory(1 << 12)
+    with pytest.raises(VMError):
+        mem.release(3)
+
+
+def test_region_of_finds_named_allocation():
+    mem = Memory(1 << 12)
+    a = mem.alloc(64, "col.x")
+    region = mem.region_of(a + 8)
+    assert region is not None and region.name == "col.x"
+    assert mem.region_of(a + 64) is None or mem.region_of(a + 64).name != "col.x"
