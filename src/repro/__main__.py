@@ -98,6 +98,10 @@ def resolve_sql(args) -> str:
 
 def main(argv: list[str] | None = None, out=None) -> int:
     out = out or sys.stdout
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "pgo":
+        return _pgo_main(argv[1:], out)
     args = build_parser().parse_args(argv)
     sql = resolve_sql(args)
     try:
@@ -162,6 +166,78 @@ def _run(args, sql: str, out) -> int:
         with open(args.dot, "w") as handle:
             handle.write(profile.plan_dot())
         print(f"plan graph written to {args.dot}", file=out)
+    return 0
+
+
+def _pgo_main(argv: list[str], out) -> int:
+    """``python -m repro pgo <store-dir>``: inspect stored PGO feedback."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro pgo",
+        description="Inspect the profile-guided-optimization feedback "
+                    "recorded in a ProfileStore directory.",
+    )
+    parser.add_argument(
+        "store", help="directory of a persistent repro.pgo ProfileStore"
+    )
+    parser.add_argument(
+        "--fingerprint", help="show only this query fingerprint"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.errors import ReproError
+    from repro.pgo import ProfileStore
+
+    try:
+        store = ProfileStore(directory=args.store)
+    except ReproError as error:
+        print(str(error), file=out)
+        return 1
+    fingerprints = store.fingerprints()
+    if args.fingerprint:
+        fingerprints = [f for f in fingerprints if f == args.fingerprint]
+    if not fingerprints:
+        print(f"no feedback stored under {args.store}", file=out)
+        return 1
+
+    for fp in fingerprints:
+        feedback = store.feedback(fp)
+        print(f"query {fp}  ({feedback.runs} profiled run(s))", file=out)
+        sql = " ".join(feedback.sql.split())
+        if len(sql) > 100:
+            sql = sql[:97] + "..."
+        print(f"  sql: {sql}", file=out)
+        print(f"  plan signature: {feedback.plan_signature}", file=out)
+        if feedback.cardinalities:
+            print("  cardinalities (observed vs estimated):", file=out)
+            for key in sorted(feedback.cardinalities):
+                obs = feedback.cardinalities[key]
+                print(
+                    f"    {key:<50} {obs.rows:>12,.0f} observed"
+                    f"  {obs.estimate:>12,.0f} estimated",
+                    file=out,
+                )
+        hot = [
+            (key, stats)
+            for key, stats in feedback.branches.items()
+            if stats.total >= 4
+        ]
+        if hot:
+            print("  branches (p(cond true), misses/samples):", file=out)
+            hot.sort(key=lambda item: -item[1].total)
+            for key, stats in hot[:10]:
+                print(
+                    f"    {key:<50} p={stats.taken_rate:.2f}"
+                    f"  {stats.misses}/{stats.total}",
+                    file=out,
+                )
+        if feedback.hotness:
+            top = sorted(
+                feedback.hotness.items(), key=lambda item: -item[1]
+            )[:5]
+            print("  hottest instructions:", file=out)
+            for key, weight in top:
+                print(f"    {key:<50} {weight:,.0f} samples", file=out)
+        print(file=out)
     return 0
 
 

@@ -16,6 +16,7 @@ from repro.errors import BackendError
 from repro.ir.nodes import Module
 from repro.ir.verifier import verify_function
 from repro.vm.isa import CodeRegion, FunctionInfo, Opcode, Program, rebase
+from repro.backend.feedback import BackendFeedback
 from repro.backend.isel import select_function
 from repro.backend.opts import OptimizationResult, optimize_function
 from repro.backend.regalloc import AllocationStats, allocate_function
@@ -27,6 +28,9 @@ class BackendOptions:
 
     reserve_tag_register: bool = False  # Register Tagging on/off
     optimize: bool = True  # constfold + CSE + DCE
+    # profile feedback (repro.pgo): branch layout + spill-cost hints,
+    # resolved per function after optimization
+    feedback: "BackendFeedback | None" = None
 
 
 @dataclass
@@ -74,9 +78,20 @@ def compile_module(
             verify_function(function)
         else:
             opt_result = OptimizationResult()
-        isel = select_function(function, tagging_enabled=options.reserve_tag_register)
+        if options.feedback is not None:
+            # keys refer to post-optimization positions, so resolve here
+            invert_branches, hotness = options.feedback.resolve(function)
+        else:
+            invert_branches, hotness = set(), None
+        isel = select_function(
+            function,
+            tagging_enabled=options.reserve_tag_register,
+            invert_branches=invert_branches,
+        )
         allocated = allocate_function(
-            isel.items, reserve_tag_register=options.reserve_tag_register
+            isel.items,
+            reserve_tag_register=options.reserve_tag_register,
+            hotness=hotness,
         )
         units.append(
             LinkUnit(

@@ -1,0 +1,53 @@
+"""Profile feedback consumed by the backend (branch layout, spill choice).
+
+The feedback is keyed by post-optimization IR position (``fn|block|idx``
+strings, see :func:`repro.pgo.feedback.ir_position_keys`); the compiler
+driver resolves those keys against each function right after optimization,
+yielding per-``ir_id`` hints for instruction selection and register
+allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# a branch whose condition is true less often than this falls through on
+# the false edge instead (with hysteresis around 0.5 so noisy estimates
+# near the middle keep the default layout)
+INVERT_THRESHOLD = 0.45
+
+
+@dataclass(frozen=True)
+class BackendFeedback:
+    """Branch probabilities and instruction hotness for one IR module."""
+
+    # "fn|block|idx" -> p(condition true), already noise-filtered
+    branch_probability: dict = field(default_factory=dict)
+    # "fn|block|idx" -> relative hotness weight (sample counts)
+    hotness: dict = field(default_factory=dict)
+
+    def resolve(self, function) -> tuple[set[int], dict[int, float]]:
+        """Translate position keys into this compile's instruction ids.
+
+        Returns ``(invert_branches, hotness_by_ir_id)`` for ``function``:
+        the ``condbr`` ids whose hot edge is the false edge, and per-id
+        hotness weights for spill-cost ranking.
+        """
+        invert: set[int] = set()
+        hotness: dict[int, float] = {}
+        if not self.branch_probability and not self.hotness:
+            return invert, hotness
+        for block in function.blocks:
+            for idx, instr in enumerate(block.instructions):
+                key = f"{function.name}|{block.name}|{idx}"
+                weight = self.hotness.get(key)
+                if weight is not None:
+                    hotness[instr.id] = weight
+                if instr.op == "condbr":
+                    probability = self.branch_probability.get(key)
+                    if (
+                        probability is not None
+                        and probability < INVERT_THRESHOLD
+                    ):
+                        invert.add(instr.id)
+        return invert, hotness

@@ -68,9 +68,15 @@ class IselResult:
 
 
 class _Isel:
-    def __init__(self, function: Function, tagging_enabled: bool):
+    def __init__(
+        self,
+        function: Function,
+        tagging_enabled: bool,
+        invert_branches: set[int] | frozenset = frozenset(),
+    ):
         self.function = function
         self.tagging_enabled = tagging_enabled
+        self.invert_branches = invert_branches
         self.items: list = []
         self.next_vreg = VREG_BASE
         self.value_vreg: dict[int, int] = {}
@@ -322,8 +328,16 @@ class _Isel:
         if op == "condbr":
             cond = self.vreg_of(instr.args[0], iid)
             self.emit_phi_copies(block, iid)
-            self.emit(Opcode.BRNZ, cond, instr.targets[0].name, ir_id=iid)
-            self.emit(Opcode.JMP, instr.targets[1].name, ir_id=iid)
+            if iid in self.invert_branches:
+                # profile feedback says the condition is usually false:
+                # branch on the cold (true) edge so the hot edge falls
+                # through to the cheaper JMP (1 vs 2 branch instructions
+                # retired on the common path)
+                self.emit(Opcode.BRZ, cond, instr.targets[1].name, ir_id=iid)
+                self.emit(Opcode.JMP, instr.targets[0].name, ir_id=iid)
+            else:
+                self.emit(Opcode.BRNZ, cond, instr.targets[0].name, ir_id=iid)
+                self.emit(Opcode.JMP, instr.targets[1].name, ir_id=iid)
             return
 
         if op == "ret":
@@ -339,6 +353,15 @@ class _Isel:
         raise BackendError(f"no selection rule for IR op {op!r}")
 
 
-def select_function(function: Function, tagging_enabled: bool = False) -> IselResult:
-    """Lower one IR function to virtual-register machine code."""
-    return _Isel(function, tagging_enabled).run()
+def select_function(
+    function: Function,
+    tagging_enabled: bool = False,
+    invert_branches: set[int] | frozenset = frozenset(),
+) -> IselResult:
+    """Lower one IR function to virtual-register machine code.
+
+    ``invert_branches`` holds the ids of ``condbr`` instructions whose hot
+    edge is the *false* edge (profile feedback); those lower with the
+    BRZ/JMP layout so the common path retires one branch instead of two.
+    """
+    return _Isel(function, tagging_enabled, invert_branches).run()

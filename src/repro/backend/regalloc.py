@@ -119,12 +119,37 @@ def _intervals(items, live_in, live_out):
     return intervals
 
 
-def allocate_function(items: list, reserve_tag_register: bool = False) -> AllocatedCode:
-    """Allocate registers and produce final function-relative code."""
+def _vreg_weights(items, hotness: dict[int, float]) -> dict[int, float]:
+    """Spill cost per vreg: summed hotness of the instructions touching it."""
+    weights: dict[int, float] = {}
+    for item in items:
+        if not isinstance(item, (MInst, MCallSeq)) or item.ir_id is None:
+            continue
+        weight = hotness.get(item.ir_id)
+        if not weight:
+            continue
+        for vreg in set(item.uses()) | set(item.defs()):
+            weights[vreg] = weights.get(vreg, 0.0) + weight
+    return weights
+
+
+def allocate_function(
+    items: list,
+    reserve_tag_register: bool = False,
+    hotness: dict[int, float] | None = None,
+) -> AllocatedCode:
+    """Allocate registers and produce final function-relative code.
+
+    ``hotness`` (profile feedback, ir_id -> sample weight) switches the
+    spill heuristic from furthest-end to cheapest-to-spill: among the
+    candidates, the vreg touched by the coldest instructions is spilled —
+    keeping profiled-hot values in registers.
+    """
     pool = tuple(r for r in POOL_FULL if not (reserve_tag_register and r == REG_TAG))
 
     live_in, live_out = _liveness(items)
     intervals = _intervals(items, live_in, live_out)
+    weights = _vreg_weights(items, hotness) if hotness else None
     call_positions = [
         i for i, item in enumerate(items) if isinstance(item, MCallSeq)
     ]
@@ -155,6 +180,23 @@ def allocate_function(items: list, reserve_tag_register: bool = False) -> Alloca
             reg = free.pop()
             assignment[vreg] = ("reg", reg)
             active.append(vreg)
+        elif weights is not None:
+            # hotness-weighted choice: spill the coldest candidate
+            # (ties broken toward the furthest interval end, matching the
+            # default heuristic)
+            def spill_cost(v, v_end):
+                return (weights.get(v, 0.0), -v_end)
+
+            victim = min(active, key=lambda v: spill_cost(v, intervals[v][1]))
+            if spill_cost(victim, intervals[victim][1]) < spill_cost(vreg, end):
+                assignment[vreg] = assignment[victim]
+                assignment[victim] = ("spill", 0)
+                spilled.add(victim)
+                active.remove(victim)
+                active.append(vreg)
+            else:
+                assignment[vreg] = ("spill", 0)
+                spilled.add(vreg)
         else:
             victim = max(active, key=lambda v: intervals[v][1])
             if intervals[victim][1] > end:

@@ -92,6 +92,13 @@ class PipelineCodegen:
             return
         task = self.pipeline.tasks[index]
         with self.ctx.task_tracker.active(task):
+            counter = self.meta.task_counter_of.get(task.id)
+            if counter is not None:
+                # PGO tuple counting: entry count of this task = output of
+                # the previous task's operator.  load/store are impure, so
+                # the optimizer never folds these away.
+                addr = self._state_addr(counter)
+                self.b.store(addr, self.b.add(self.b.load(addr), self.b.const(1)))
             self._dispatch(task, index)
 
     def _continue(self, index: int) -> None:

@@ -72,6 +72,9 @@ class QueryPlanMeta:
     prepare_sorts: dict[int, tuple[Task, PhysicalOperator]] = field(
         default_factory=dict
     )
+    # task id -> state byte offset of its entry counter (PGO tuple counts);
+    # populated only when generating with count_tuples=True
+    task_counter_of: dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -132,8 +135,15 @@ def generate_query_ir(
     env: DataEnvironment,
     tagging: TaggingDictionary,
     estimates: dict[int, float] | None = None,
+    count_tuples: bool = False,
 ) -> CompiledQueryIR:
-    """Generate the full IR module for a decomposed query."""
+    """Generate the full IR module for a decomposed query.
+
+    ``count_tuples`` plants one counter per non-driver task in the query
+    state; each task increments its counter on entry, so the entry count of
+    task *k* observes the output cardinality of the operator owning task
+    *k-1* — the feedback :mod:`repro.pgo` extracts.
+    """
     estimates = estimates or {}
     module = Module("query")
     ctx = CodegenContext(
@@ -272,6 +282,15 @@ def generate_query_ir(
             meta.output_row_offset = ctx.state.reserve(
                 "output_row", max(1, len(op.columns))
             )
+
+    if count_tuples:
+        for pipeline in pipelines:
+            for position, task in enumerate(pipeline.tasks):
+                if position == 0:
+                    continue  # the driver's domain is already known
+                meta.task_counter_of[task.id] = ctx.state.reserve(
+                    f"task_counter_{pipeline.index}_{position}", 1
+                )
 
     # -- setup function ----------------------------------------------------
 

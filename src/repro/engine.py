@@ -9,11 +9,13 @@ whose reports are the paper's deliverables.
 
 from __future__ import annotations
 
+import dataclasses
 import datetime
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.backend import BackendOptions, compile_module
+from repro.backend.feedback import BackendFeedback
 from repro.catalog import Catalog, Schema
 from repro.catalog.schema import DataType, decode_date
 from repro.codegen import (
@@ -24,6 +26,7 @@ from repro.codegen import (
 from repro.data import generate_example, generate_tpch
 from repro.errors import ReproError
 from repro.pipeline import decompose
+from repro.plan.cardinality import CardinalityModel
 from repro.plan.interpret import Interpreter
 from repro.plan.physical import (
     PhysicalOutput,
@@ -68,6 +71,9 @@ class ProfilerConfig:
     period: int = costs.DEFAULT_PERIOD_CYCLES
     record_memaddr: bool = False
     crosscheck: bool = False
+    # plant per-task tuple counters in the generated code (PGO feedback);
+    # off by default so plain profiling runs are unperturbed
+    count_tuples: bool = False
 
     def pmu_config(self) -> PmuConfig:
         register = self.mode is ProfilingMode.REGISTER_TAGGING or self.crosscheck
@@ -95,6 +101,36 @@ class QueryResult:
 
     def __len__(self):
         return len(self.rows)
+
+
+@dataclass
+class CompiledQuery:
+    """A fully-lowered query, ready to run — and to *re*-run: these are the
+    entries of the fingerprint-keyed plan cache, so repeated queries skip
+    every lowering step."""
+
+    sql: str
+    bound: object
+    physical: PhysicalOutput
+    pipelines: list
+    query_ir: object
+    program: object
+    kernel: Kernel
+    tagging: TaggingDictionary
+    query: dict
+    runtime: dict
+    syslib: dict
+    estimates: dict[int, float] = field(default_factory=dict)
+    plan_signature: str = ""
+    feedback_applied: bool = False
+
+
+@dataclass
+class _CachedPlan:
+    """Plan-cache entry: invalidated when fresher feedback is recorded."""
+
+    compiled: CompiledQuery
+    feedback_version: int
 
 
 class _QueryEnvironment:
@@ -140,6 +176,12 @@ class Database:
         self._column_addresses: dict[tuple[str, str], int] = {}
         self._year_table_addr = 0
         self._ready = False
+        # profile-guided optimization (repro.pgo): the feedback store and
+        # the fingerprint-keyed compiled-plan cache, see enable_pgo()
+        self.pgo_store = None
+        self._plan_cache: dict[tuple, _CachedPlan] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # -- construction -------------------------------------------------------
 
@@ -195,12 +237,13 @@ class Database:
         sql: str,
         join_order_hint: list[str] | None = None,
         planner_options: PlannerOptions | None = None,
+        model=None,
     ):
         if not self._ready:
             raise ReproError("database not finalized; call finalize() first")
         stmt = parse(sql)
         self._inline_scalar_subqueries(stmt)
-        bound = Binder(self.catalog).bind(stmt, join_order_hint)
+        bound = Binder(self.catalog).bind(stmt, join_order_hint, model=model)
         physical = plan_physical(bound.plan, bound.model, planner_options)
         return bound, physical
 
@@ -257,9 +300,9 @@ class Database:
         self._inline_scalar_subqueries(substmt, depth + 1)
         bound = Binder(self.catalog).bind(substmt)
         physical = plan_physical(bound.plan, bound.model)
-        (*_, machines, _t, _c, _r, _s, rows) = self._compile_and_run(
+        _, _, rows, _ = self._compile_and_run(
             "", None, prebuilt=(bound, physical)
-        )[4:]
+        )
         if len(rows) != 1 or len(rows[0]) != 1:
             raise ReproError(
                 "a scalar subquery must return exactly one value "
@@ -280,6 +323,191 @@ class Database:
 
     # -- compilation + execution ------------------------------------------------
 
+    def _compile(
+        self,
+        sql: str,
+        profiler: ProfilerConfig | None,
+        join_order_hint: list[str] | None = None,
+        planner_options: PlannerOptions | None = None,
+        optimize_backend: bool = True,
+        prebuilt=None,
+        model=None,
+        feedback=None,
+        count_tuples: bool = False,
+    ) -> CompiledQuery:
+        """Lower a query through every step, down to placed native code.
+
+        ``model`` overrides the cardinality model; ``feedback`` is a
+        :class:`~repro.pgo.feedback.QueryFeedback` whose observed
+        cardinalities build such a model automatically and whose branch /
+        hotness statistics reach the backend when the planned shape matches
+        the profiled one.  Compile-time memory (bitmaps) is *not* released
+        here — cached plans keep it for their lifetime.
+        """
+        from repro.pgo.fingerprint import plan_signature
+
+        cardinality_feedback = False
+        if prebuilt is not None:
+            # a frontend other than SQL (e.g. the streaming DSL) built the
+            # plan itself: (model, physical root)
+            bound, physical = prebuilt
+        else:
+            if model is None and feedback is not None and feedback.cardinalities:
+                from repro.pgo.model import FeedbackCardinalityModel
+
+                model = FeedbackCardinalityModel(
+                    feedback.cardinality_overrides()
+                )
+                cardinality_feedback = True
+            bound, physical = self._plan(
+                sql, join_order_hint, planner_options, model
+            )
+
+        tagging = TaggingDictionary()
+        pipelines = decompose(physical, on_task=tagging.register_task)
+
+        program = Program()
+        kernel = Kernel(self.memory, install_kernel_stubs(program))
+        env = _QueryEnvironment(self, kernel)
+
+        estimates = self._physical_estimates(bound, physical)
+        if cardinality_feedback:
+            # observed cardinalities steer join *ordering*, but hash tables
+            # are never sized below the model's a-priori guess: shrinking
+            # the directory makes probe-heavy joins scan fuller buckets,
+            # while growing it (under-estimate corrected upward) is the
+            # direction that actually pays off
+            base_model = CardinalityModel()
+            logical_by_id = {n.op_id: n for n in bound.plan.walk()}
+            for op in physical.walk():
+                logical = logical_by_id.get(op.logical_id)
+                if logical is not None:
+                    estimates[op.op_id] = max(
+                        estimates[op.op_id], base_model.estimate(logical)
+                    )
+        query_ir = generate_query_ir(
+            physical, pipelines, env, tagging, estimates,
+            count_tuples=count_tuples,
+        )
+
+        reserve = (
+            profiler is not None
+            and profiler.mode is ProfilingMode.REGISTER_TAGGING
+        )
+        options = BackendOptions(
+            reserve_tag_register=reserve, optimize=optimize_backend
+        )
+
+        # backend feedback keys are post-optimization IR positions of the
+        # profiled plan: only valid when this compile optimizes and plans
+        # the same shape
+        signature = plan_signature(physical)
+        backend_feedback = None
+        if (
+            feedback is not None
+            and optimize_backend
+            and feedback.matches_plan(signature)
+        ):
+            probabilities = feedback.branch_probabilities()
+            if probabilities or feedback.hotness:
+                backend_feedback = BackendFeedback(
+                    branch_probability=probabilities,
+                    hotness=dict(feedback.hotness),
+                )
+        query_options = (
+            dataclasses.replace(options, feedback=backend_feedback)
+            if backend_feedback is not None
+            else options
+        )
+
+        syslib = compile_module(
+            build_syslib_module(), program, CodeRegion.SYSLIB, options
+        )
+        runtime_module = build_runtime_module()
+        for fn in runtime_module.functions:
+            for instr in fn.all_instructions():
+                tagging.link_runtime_instruction(instr.id, fn.name)
+        runtime = compile_module(
+            runtime_module, program, CodeRegion.RUNTIME, options
+        )
+        query = compile_module(
+            query_ir.module, program, CodeRegion.QUERY, query_options
+        )
+        for compiled in (*runtime.values(), *query.values()):
+            tagging.apply_optimizations(compiled.opt_result)
+
+        return CompiledQuery(
+            sql=sql,
+            bound=bound,
+            physical=physical,
+            pipelines=pipelines,
+            query_ir=query_ir,
+            program=program,
+            kernel=kernel,
+            tagging=tagging,
+            query=query,
+            runtime=runtime,
+            syslib=syslib,
+            estimates=estimates,
+            plan_signature=signature,
+            feedback_applied=cardinality_feedback
+            or backend_feedback is not None,
+        )
+
+    def _run_compiled(
+        self,
+        compiled: CompiledQuery,
+        profiler: ProfilerConfig | None = None,
+        workers: int = 1,
+        morsel_size: int = 1024,
+        repeats: int = 1,
+    ):
+        """Run a compiled query; returns ``(machines, rows, task_counts)``.
+
+        All run-time memory (worker stacks, query state, kernel
+        allocations) is released afterwards, so a cached plan can run any
+        number of times without growing the bump allocator."""
+        if workers < 1:
+            raise ReproError("workers must be >= 1")
+        if repeats < 1:
+            raise ReproError("repeats must be >= 1")
+        query_ir = compiled.query_ir
+        mark = self.memory.mark()
+        try:
+            pmu = profiler.pmu_config() if profiler is not None else None
+            machines = [
+                Machine(
+                    compiled.program, self.memory, pmu_config=pmu,
+                    kernel=compiled.kernel,
+                )
+                for _ in range(workers)
+            ]
+            state_addr = self.memory.alloc(
+                query_ir.state.size_bytes, "query_state"
+            )
+
+            output: list[tuple] = []
+            for _iteration in range(repeats):
+                # iterative dataflow (§4.2.6): the same compiled pipelines
+                # run again; per-iteration state is rebuilt by query_setup
+                self._zero_state(state_addr, query_ir.state.size_bytes)
+                output = self._run_pipelines(
+                    machines, compiled.query, query_ir, compiled.pipelines,
+                    state_addr, morsel_size,
+                )
+            # read the PGO tuple counters before the state is released
+            task_counts = {
+                task_id: self.memory.read(state_addr + offset)
+                for task_id, offset in query_ir.meta.task_counter_of.items()
+            }
+            rows = [
+                self._decode_row(raw, compiled.physical.columns)
+                for raw in output
+            ]
+            return machines, rows, task_counts
+        finally:
+            self.memory.release(mark)
+
     def _compile_and_run(
         self,
         sql: str,
@@ -291,73 +519,23 @@ class Database:
         optimize_backend: bool = True,
         repeats: int = 1,
         prebuilt=None,
+        model=None,
+        feedback=None,
+        count_tuples: bool = False,
     ):
-        if workers < 1:
-            raise ReproError("workers must be >= 1")
-        if repeats < 1:
-            raise ReproError("repeats must be >= 1")
-        if prebuilt is not None:
-            # a frontend other than SQL (e.g. the streaming DSL) built the
-            # plan itself: (model, physical root)
-            bound, physical = prebuilt
-        else:
-            bound, physical = self._plan(sql, join_order_hint, planner_options)
+        """One-shot compile + run + full memory release (the non-cached
+        path); returns ``(compiled, machines, rows, task_counts)``."""
         mark = self.memory.mark()
         try:
-            tagging = TaggingDictionary()
-            pipelines = decompose(physical, on_task=tagging.register_task)
-
-            program = Program()
-            kernel = Kernel(self.memory, install_kernel_stubs(program))
-            env = _QueryEnvironment(self, kernel)
-
-            estimates = self._physical_estimates(bound, physical)
-            query_ir = generate_query_ir(
-                physical, pipelines, env, tagging, estimates
+            compiled = self._compile(
+                sql, profiler, join_order_hint, planner_options,
+                optimize_backend=optimize_backend, prebuilt=prebuilt,
+                model=model, feedback=feedback, count_tuples=count_tuples,
             )
-
-            reserve = (
-                profiler is not None
-                and profiler.mode is ProfilingMode.REGISTER_TAGGING
+            machines, rows, task_counts = self._run_compiled(
+                compiled, profiler, workers, morsel_size, repeats
             )
-            options = BackendOptions(
-                reserve_tag_register=reserve, optimize=optimize_backend
-            )
-
-            syslib = compile_module(
-                build_syslib_module(), program, CodeRegion.SYSLIB, options
-            )
-            runtime_module = build_runtime_module()
-            for fn in runtime_module.functions:
-                for instr in fn.all_instructions():
-                    tagging.link_runtime_instruction(instr.id, fn.name)
-            runtime = compile_module(
-                runtime_module, program, CodeRegion.RUNTIME, options
-            )
-            query = compile_module(
-                query_ir.module, program, CodeRegion.QUERY, options
-            )
-            for compiled in (*runtime.values(), *query.values()):
-                tagging.apply_optimizations(compiled.opt_result)
-
-            pmu = profiler.pmu_config() if profiler is not None else None
-            machines = [
-                Machine(program, self.memory, pmu_config=pmu, kernel=kernel)
-                for _ in range(workers)
-            ]
-            state_addr = self.memory.alloc(query_ir.state.size_bytes, "query_state")
-
-            output: list[tuple] = []
-            for _iteration in range(repeats):
-                # iterative dataflow (§4.2.6): the same compiled pipelines
-                # run again; per-iteration state is rebuilt by query_setup
-                self._zero_state(state_addr, query_ir.state.size_bytes)
-                output = self._run_pipelines(
-                    machines, query, query_ir, pipelines, state_addr, morsel_size
-                )
-            rows = [self._decode_row(raw, physical.columns) for raw in output]
-            return bound, physical, pipelines, query_ir, program, machines, \
-                tagging, query, runtime, syslib, rows
+            return compiled, machines, rows, task_counts
         finally:
             self.memory.release(mark)
 
@@ -455,25 +633,7 @@ class Database:
 
     # -- public API ----------------------------------------------------------
 
-    def execute(
-        self,
-        sql: str,
-        join_order_hint: list[str] | None = None,
-        planner_options: PlannerOptions | None = None,
-        workers: int = 1,
-        optimize_backend: bool = True,
-    ) -> QueryResult:
-        """Compile and run a query; returns decoded rows.
-
-        ``workers > 1`` runs the pipelines morsel-parallel on simulated
-        cores; ``cycles`` is then the slowest worker's clock (wall time).
-        ``optimize_backend=False`` disables constant folding/CSE/DCE (for
-        ablation studies)."""
-        (*_, physical, _p, _q, _prog, machines, _t, _c, _r, _s, rows) = \
-            self._compile_and_run(
-                sql, None, join_order_hint, planner_options, workers=workers,
-                optimize_backend=optimize_backend,
-            )
+    def _result(self, physical, machines, rows) -> QueryResult:
         return QueryResult(
             columns=[name for name, _ in physical.columns],
             rows=rows,
@@ -481,17 +641,103 @@ class Database:
             instructions=sum(m.state.instructions for m in machines),
         )
 
-    def _build_profile(self, config, compiled_parts) -> Profile:
-        (bound, physical, pipelines, query_ir, program, machines, tagging,
-         query, runtime, syslib, rows) = compiled_parts
-        processor = SampleProcessor(program, tagging)
+    def execute(
+        self,
+        sql: str,
+        join_order_hint: list[str] | None = None,
+        planner_options: PlannerOptions | None = None,
+        workers: int = 1,
+        optimize_backend: bool = True,
+        pgo: bool = False,
+    ) -> QueryResult:
+        """Compile and run a query; returns decoded rows.
+
+        ``workers > 1`` runs the pipelines morsel-parallel on simulated
+        cores; ``cycles`` is then the slowest worker's clock (wall time).
+        ``optimize_backend=False`` disables constant folding/CSE/DCE (for
+        ablation studies).  ``pgo=True`` consults the feedback store set up
+        by :meth:`enable_pgo`: recorded profiles steer join ordering, block
+        layout and spilling, and compiled plans are cached by query
+        fingerprint until fresher feedback arrives."""
+        if pgo:
+            return self._execute_pgo(
+                sql, join_order_hint, planner_options, workers,
+                optimize_backend,
+            )
+        compiled, machines, rows, _ = self._compile_and_run(
+            sql, None, join_order_hint, planner_options, workers=workers,
+            optimize_backend=optimize_backend,
+        )
+        return self._result(compiled.physical, machines, rows)
+
+    # -- profile-guided optimization (repro.pgo) -----------------------------
+
+    def enable_pgo(self, store=None):
+        """Turn on the PGO feedback loop.
+
+        ``store`` may be a :class:`~repro.pgo.store.ProfileStore`, a
+        directory path for a persistent store, or ``None`` for an
+        in-memory one.  Returns the store."""
+        from repro.pgo.store import ProfileStore
+
+        if store is None:
+            store = ProfileStore()
+        elif not isinstance(store, ProfileStore):
+            store = ProfileStore(directory=store)
+        self.pgo_store = store
+        self._plan_cache.clear()
+        return store
+
+    def _require_pgo(self):
+        if self.pgo_store is None:
+            raise ReproError(
+                "profile-guided optimization is not enabled; "
+                "call enable_pgo() first"
+            )
+        return self.pgo_store
+
+    def _execute_pgo(
+        self, sql, join_order_hint, planner_options, workers,
+        optimize_backend,
+    ) -> QueryResult:
+        from repro.pgo.fingerprint import fingerprint
+
+        store = self._require_pgo()
+        key = (
+            fingerprint(sql),
+            tuple(join_order_hint) if join_order_hint else None,
+            planner_options,
+            optimize_backend,
+        )
+        version = store.version(sql)
+        cached = self._plan_cache.get(key)
+        if cached is None or cached.feedback_version != version:
+            # compile outside any memory mark: the plan's compile-time
+            # allocations (bitmaps) must outlive this call for reuse
+            compiled = self._compile(
+                sql, None, join_order_hint, planner_options,
+                optimize_backend=optimize_backend,
+                feedback=store.feedback(sql),
+            )
+            cached = _CachedPlan(compiled=compiled, feedback_version=version)
+            self._plan_cache[key] = cached
+            self.plan_cache_misses += 1
+        else:
+            self.plan_cache_hits += 1
+        machines, rows, _ = self._run_compiled(
+            cached.compiled, None, workers=workers
+        )
+        return self._result(cached.compiled.physical, machines, rows)
+
+    def _build_profile(
+        self, config, compiled: CompiledQuery, machines, rows, task_counts
+    ) -> Profile:
+        processor = SampleProcessor(compiled.program, compiled.tagging)
         attributions = []
         for worker_index, machine in enumerate(machines):
             for sample in machine.samples.samples:
                 attribution = processor.attribute(sample)
                 if worker_index:
-                    import dataclasses
-
                     attribution = dataclasses.replace(
                         attribution, worker=worker_index
                     )
@@ -500,21 +746,19 @@ class Database:
         return Profile(
             database=self,
             config=config,
-            physical=physical,
-            pipelines=pipelines,
-            ir_module=query_ir.module,
-            program=program,
+            physical=compiled.physical,
+            pipelines=compiled.pipelines,
+            ir_module=compiled.query_ir.module,
+            program=compiled.program,
             machine=machines[0],
             machines=machines,
-            tagging=tagging,
+            tagging=compiled.tagging,
             processor=processor,
             attributions=attributions,
-            result=QueryResult(
-                columns=[name for name, _ in physical.columns],
-                rows=rows,
-                cycles=max(m.state.cycles for m in machines),
-                instructions=sum(m.state.instructions for m in machines),
-            ),
+            result=self._result(compiled.physical, machines, rows),
+            sql=compiled.sql,
+            task_counts=task_counts,
+            estimates=compiled.estimates,
         )
 
     def profile(
@@ -525,6 +769,7 @@ class Database:
         planner_options: PlannerOptions | None = None,
         workers: int = 1,
         repeats: int = 1,
+        pgo: bool = False,
     ) -> Profile:
         """Run a query with the PMU armed; returns a Profile for reports.
 
@@ -532,13 +777,29 @@ class Database:
         sample buffer; attributions carry the worker index and the merged
         sample stream feeds all reports.  ``repeats`` re-runs the compiled
         pipelines in the same session — the iterative-dataflow case whose
-        iterations post-processing separates by timestamp (§4.2.6)."""
+        iterations post-processing separates by timestamp (§4.2.6).
+
+        ``pgo=True`` closes the feedback loop: tuple counters are planted
+        in the generated code, existing feedback steers this compile, and
+        the run's own samples are recorded back into the store."""
         config = config or ProfilerConfig()
-        parts = self._compile_and_run(
+        feedback = None
+        if pgo:
+            store = self._require_pgo()
+            feedback = store.feedback(sql)
+            if not config.count_tuples:
+                config = dataclasses.replace(config, count_tuples=True)
+        compiled, machines, rows, task_counts = self._compile_and_run(
             sql, config, join_order_hint, planner_options, workers=workers,
-            repeats=repeats,
+            repeats=repeats, feedback=feedback,
+            count_tuples=config.count_tuples,
         )
-        return self._build_profile(config, parts)
+        profile = self._build_profile(
+            config, compiled, machines, rows, task_counts
+        )
+        if pgo:
+            self.pgo_store.record(profile)
+        return profile
 
     # -- prebuilt-plan entry points (for non-SQL frontends) -----------------
 
@@ -547,16 +808,10 @@ class Database:
 
         ``bound`` must expose ``.plan`` (the logical root) and ``.model``
         (a CardinalityModel); ``physical`` is the physical root."""
-        (*_, _phys, _p, _q, _prog, machines, _t, _c, _r, _s, rows) = \
-            self._compile_and_run(
-                "", None, prebuilt=(bound, physical), workers=workers
-            )
-        return QueryResult(
-            columns=[name for name, _ in physical.columns],
-            rows=rows,
-            cycles=max(m.state.cycles for m in machines),
-            instructions=sum(m.state.instructions for m in machines),
+        _, machines, rows, _ = self._compile_and_run(
+            "", None, prebuilt=(bound, physical), workers=workers
         )
+        return self._result(physical, machines, rows)
 
     def profile_plan(
         self,
@@ -568,11 +823,13 @@ class Database:
     ) -> Profile:
         """Profile a plan built by a non-SQL frontend."""
         config = config or ProfilerConfig()
-        parts = self._compile_and_run(
+        compiled, machines, rows, task_counts = self._compile_and_run(
             "", config, prebuilt=(bound, physical), workers=workers,
-            repeats=repeats,
+            repeats=repeats, count_tuples=config.count_tuples,
         )
-        return self._build_profile(config, parts)
+        return self._build_profile(
+            config, compiled, machines, rows, task_counts
+        )
 
     def execute_interpreted(
         self,

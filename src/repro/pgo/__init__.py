@@ -1,0 +1,44 @@
+"""Profile-guided optimization: close the loop from samples to plans.
+
+The paper's headline use case (§6, Figs. 10-11) is a *human* reading
+multi-level profiles to pick a better plan.  This package lets the system
+consume its own attributed samples instead: persisted profiling sessions
+become machine-readable feedback that flows back into every lowering layer.
+
+* :mod:`repro.pgo.fingerprint` — normalized-SQL query fingerprints and
+  structural plan signatures (the keys everything else is filed under).
+* :mod:`repro.pgo.feedback` — the feedback extractor: observed per-operator
+  cardinalities from task tuple counts, branch taken/miss statistics from
+  sampled branch outcomes, per-IR-instruction hotness from cycle samples.
+* :mod:`repro.pgo.store` — the profile store: feedback merged across runs,
+  keyed by fingerprint, persisted via the ``profiling.session`` flow.
+* :mod:`repro.pgo.model` — a :class:`~repro.plan.cardinality.CardinalityModel`
+  that overrides estimates with observations, so GOO join ordering and
+  build-side choice flip to the observed-better plan without hints.
+"""
+
+from repro.pgo.feedback import (
+    BranchStats,
+    CardinalityObservation,
+    QueryFeedback,
+    extract_feedback,
+)
+from repro.pgo.fingerprint import (
+    cardinality_key,
+    fingerprint,
+    plan_signature,
+)
+from repro.pgo.model import FeedbackCardinalityModel
+from repro.pgo.store import ProfileStore
+
+__all__ = [
+    "BranchStats",
+    "CardinalityObservation",
+    "FeedbackCardinalityModel",
+    "ProfileStore",
+    "QueryFeedback",
+    "cardinality_key",
+    "extract_feedback",
+    "fingerprint",
+    "plan_signature",
+]

@@ -1,0 +1,250 @@
+"""The feedback extractor: one profiled run -> machine-readable feedback.
+
+Three observation channels, matching the three consumers:
+
+* **cardinalities** — per-operator observed output counts, read from the
+  task tuple counters the engine plants at every task entry when profiling
+  with ``pgo=True`` (the entry count of task *k* is the output of the
+  operator owning task *k-1*);
+* **branches** — per-``condbr`` condition-truth rates from sampled branch
+  outcomes, plus mispredict sample counts from ``BRANCH_MISS`` runs;
+* **hotness** — per-IR-instruction sample counts from cycle/instruction
+  samples, keyed by the post-optimization ``function|block|index`` position
+  (stable across recompiles because the optimizer is deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pgo.fingerprint import cardinality_key, plan_signature
+from repro.vm.pmu import Event
+
+
+@dataclass
+class CardinalityObservation:
+    """Observed output cardinality of one subplan, averaged across runs."""
+
+    rows: float
+    estimate: float = 0.0
+    runs: int = 1
+
+    def combined(self, other: "CardinalityObservation") -> "CardinalityObservation":
+        total = self.runs + other.runs
+        rows = (self.rows * self.runs + other.rows * other.runs) / total
+        return CardinalityObservation(
+            rows=rows, estimate=other.estimate or self.estimate, runs=total
+        )
+
+    def to_json(self) -> dict:
+        return {"rows": self.rows, "estimate": self.estimate, "runs": self.runs}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "CardinalityObservation":
+        return cls(
+            rows=doc["rows"], estimate=doc.get("estimate", 0.0),
+            runs=doc.get("runs", 1),
+        )
+
+
+@dataclass
+class BranchStats:
+    """Sampled outcome statistics for one ``condbr``."""
+
+    cond_true: int = 0
+    total: int = 0
+    misses: int = 0
+
+    @property
+    def taken_rate(self) -> float:
+        return self.cond_true / self.total if self.total else 0.5
+
+    def combined(self, other: "BranchStats") -> "BranchStats":
+        return BranchStats(
+            cond_true=self.cond_true + other.cond_true,
+            total=self.total + other.total,
+            misses=self.misses + other.misses,
+        )
+
+    def to_json(self) -> dict:
+        return {"true": self.cond_true, "total": self.total,
+                "misses": self.misses}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "BranchStats":
+        return cls(cond_true=doc["true"], total=doc["total"],
+                   misses=doc.get("misses", 0))
+
+
+@dataclass
+class QueryFeedback:
+    """Everything a later compile of the same query can consume."""
+
+    sql: str = ""
+    plan_signature: str = ""
+    runs: int = 1
+    cardinalities: dict[str, CardinalityObservation] = field(default_factory=dict)
+    branches: dict[str, BranchStats] = field(default_factory=dict)
+    hotness: dict[str, float] = field(default_factory=dict)
+
+    # -- consumer views -----------------------------------------------------
+
+    def cardinality_overrides(self) -> dict[str, float]:
+        return {key: obs.rows for key, obs in self.cardinalities.items()}
+
+    def branch_probabilities(self, min_samples: int = 12) -> dict[str, float]:
+        """p(condition true) per ``fn|block|idx`` key, noise-filtered.
+
+        The default threshold is deliberately high: inverting a branch on
+        a handful of samples is a coin flip (at n=10 a fair branch shows
+        p <= 0.4 over a third of the time), and profiling the same query
+        again merges outcome counts, so confidence accrues across runs."""
+        return {
+            key: stats.taken_rate
+            for key, stats in self.branches.items()
+            if stats.total >= min_samples
+        }
+
+    def matches_plan(self, signature: str) -> bool:
+        """Backend feedback (branches, hotness) is only valid for the plan
+        it was measured on; cardinalities are plan-independent."""
+        return bool(self.plan_signature) and self.plan_signature == signature
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, newer: "QueryFeedback") -> "QueryFeedback":
+        """Fold a newer run into this feedback.
+
+        Cardinalities always merge (a subplan's output count does not
+        depend on the surrounding plan); branch and hotness observations
+        are replaced when the newer run executed a different plan.
+        """
+        cards = dict(self.cardinalities)
+        for key, obs in newer.cardinalities.items():
+            prev = cards.get(key)
+            cards[key] = prev.combined(obs) if prev else obs
+        if newer.plan_signature == self.plan_signature:
+            branches = dict(self.branches)
+            for key, stats in newer.branches.items():
+                prev = branches.get(key)
+                branches[key] = prev.combined(stats) if prev else stats
+            hotness = dict(self.hotness)
+            for key, weight in newer.hotness.items():
+                hotness[key] = hotness.get(key, 0.0) + weight
+            signature = self.plan_signature
+        else:
+            branches = dict(newer.branches)
+            hotness = dict(newer.hotness)
+            signature = newer.plan_signature
+        return QueryFeedback(
+            sql=newer.sql or self.sql,
+            plan_signature=signature,
+            runs=self.runs + newer.runs,
+            cardinalities=cards,
+            branches=branches,
+            hotness=hotness,
+        )
+
+    # -- persistence --------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "sql": self.sql,
+            "plan_signature": self.plan_signature,
+            "runs": self.runs,
+            "cardinalities": {
+                key: obs.to_json() for key, obs in self.cardinalities.items()
+            },
+            "branches": {
+                key: stats.to_json() for key, stats in self.branches.items()
+            },
+            "hotness": self.hotness,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "QueryFeedback":
+        return cls(
+            sql=doc.get("sql", ""),
+            plan_signature=doc.get("plan_signature", ""),
+            runs=doc.get("runs", 1),
+            cardinalities={
+                key: CardinalityObservation.from_json(obs)
+                for key, obs in doc.get("cardinalities", {}).items()
+            },
+            branches={
+                key: BranchStats.from_json(stats)
+                for key, stats in doc.get("branches", {}).items()
+            },
+            hotness=dict(doc.get("hotness", {})),
+        )
+
+
+def ir_position_keys(module) -> dict[int, str]:
+    """``instr.id -> "fn|block|idx"`` over a (post-optimization) module.
+
+    Block names and in-block indices are deterministic for a given query,
+    so the keys line up between the profiled compile and any recompile of
+    the same plan."""
+    keys: dict[int, str] = {}
+    for fn in module.functions:
+        for block in fn.blocks:
+            for idx, instr in enumerate(block.instructions):
+                keys[instr.id] = f"{fn.name}|{block.name}|{idx}"
+    return keys
+
+
+def extract_feedback(profile) -> QueryFeedback:
+    """Turn one :class:`~repro.profiling.profile.Profile` into feedback."""
+    cardinalities: dict[str, CardinalityObservation] = {}
+    task_counts = getattr(profile, "task_counts", {}) or {}
+    estimates = getattr(profile, "estimates", {}) or {}
+    for pipeline in profile.pipelines:
+        tasks = pipeline.tasks
+        for position in range(1, len(tasks)):
+            count = task_counts.get(tasks[position].id)
+            if count is None:
+                continue
+            producer = tasks[position - 1].operator
+            key = cardinality_key(producer)
+            if key is None:
+                continue
+            observation = CardinalityObservation(
+                rows=float(count),
+                estimate=float(estimates.get(producer.op_id, 0.0)),
+            )
+            previous = cardinalities.get(key)
+            if previous is None or observation.rows > previous.rows:
+                cardinalities[key] = observation
+
+    position_of = ir_position_keys(profile.ir_module)
+    branches: dict[str, BranchStats] = {}
+    hotness: dict[str, float] = {}
+    event = profile.config.event
+    count_hotness = event in (Event.CYCLES, Event.INSTRUCTIONS)
+    for attribution in profile.attributions:
+        ir_id = attribution.ir_id
+        if ir_id is None:
+            continue
+        key = position_of.get(ir_id)
+        if key is None:
+            continue
+        if count_hotness:
+            hotness[key] = hotness.get(key, 0.0) + 1.0
+        sample = attribution.sample
+        taken = getattr(sample, "branch_taken", None)
+        if taken is not None:
+            stats = branches.setdefault(key, BranchStats())
+            stats.total += 1
+            if taken:
+                stats.cond_true += 1
+            if event is Event.BRANCH_MISS:
+                stats.misses += 1
+
+    return QueryFeedback(
+        sql=getattr(profile, "sql", "") or "",
+        plan_signature=plan_signature(profile.physical),
+        runs=1,
+        cardinalities=cardinalities,
+        branches=branches,
+        hotness=hotness,
+    )

@@ -1,0 +1,34 @@
+"""A cardinality model that prefers observation over estimation.
+
+Injected into the binder in place of the default
+:class:`~repro.plan.cardinality.CardinalityModel`, it makes every consumer
+of estimates feedback-aware for free: GOO join ordering compares observed
+join sizes and physical planning picks build sides by observed cardinality.
+(Hash-table sizing uses these estimates too, but the engine clamps them to
+at least the a-priori guess — see ``Database._compile`` — because shrinking
+a directory only adds probe collisions.)
+"""
+
+from __future__ import annotations
+
+from repro.pgo.fingerprint import cardinality_key
+from repro.plan.cardinality import CardinalityModel
+from repro.plan.logical import LogicalOperator
+
+
+class FeedbackCardinalityModel(CardinalityModel):
+    """Overrides estimates for subplans with an observed cardinality."""
+
+    def __init__(self, overrides: dict[str, float] | None = None):
+        super().__init__()
+        self._overrides = dict(overrides or {})
+        self.hits: int = 0  # overrides actually consulted (for reporting)
+
+    def _estimate(self, op: LogicalOperator) -> float:
+        key = cardinality_key(op)
+        if key is not None:
+            observed = self._overrides.get(key)
+            if observed is not None:
+                self.hits += 1
+                return max(1.0, observed)
+        return super()._estimate(op)

@@ -1,0 +1,89 @@
+"""The profile store: fingerprint-keyed feedback, merged across runs.
+
+Layout on disk (when given a directory; otherwise purely in-memory)::
+
+    store/
+      <fingerprint>/
+        feedback.json      merged QueryFeedback
+        runs/run_<n>/      full profiling session (profiling.session flow)
+
+Each recorded profile is persisted through :func:`save_session`, so every
+run stays inspectable with the offline post-processing tools; the merged
+``feedback.json`` is what the planner and backend consume.  The store's
+per-fingerprint ``version`` (the run count) lets the engine's compiled-plan
+cache detect fresh feedback and recompile.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.errors import ReproError
+from repro.pgo.feedback import QueryFeedback, extract_feedback
+from repro.pgo.fingerprint import fingerprint
+
+_FEEDBACK_FILE = "feedback.json"
+
+
+class ProfileStore:
+    """Aggregated profiles, keyed by query fingerprint."""
+
+    def __init__(self, directory=None):
+        self.directory = pathlib.Path(directory) if directory else None
+        self._feedback: dict[str, QueryFeedback] = {}
+        if self.directory is not None and self.directory.exists():
+            if not self.directory.is_dir():
+                raise ReproError(
+                    f"profile store path is not a directory: {self.directory}"
+                )
+            self._load()
+
+    def _load(self) -> None:
+        for child in sorted(self.directory.iterdir()):
+            feedback_path = child / _FEEDBACK_FILE
+            if child.is_dir() and feedback_path.exists():
+                doc = json.loads(feedback_path.read_text())
+                self._feedback[child.name] = QueryFeedback.from_json(doc)
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, profile) -> QueryFeedback:
+        """Extract feedback from a profiled run and merge it in."""
+        sql = getattr(profile, "sql", "") or ""
+        key = fingerprint(sql)
+        extracted = extract_feedback(profile)
+        previous = self._feedback.get(key)
+        merged = previous.merge(extracted) if previous else extracted
+        self._feedback[key] = merged
+        if self.directory is not None:
+            query_dir = self.directory / key
+            run_dir = query_dir / "runs" / f"run_{merged.runs}"
+            from repro.profiling.session import save_session
+
+            save_session(profile, run_dir)
+            query_dir.mkdir(parents=True, exist_ok=True)
+            (query_dir / _FEEDBACK_FILE).write_text(
+                json.dumps(merged.to_json(), indent=1)
+            )
+        return merged
+
+    # -- lookups ------------------------------------------------------------
+
+    def feedback(self, sql_or_fingerprint: str) -> QueryFeedback | None:
+        """Feedback for a query, by SQL text or fingerprint."""
+        direct = self._feedback.get(sql_or_fingerprint)
+        if direct is not None:
+            return direct
+        return self._feedback.get(fingerprint(sql_or_fingerprint))
+
+    def version(self, sql_or_fingerprint: str) -> int:
+        """Monotonic per-query feedback version (0 = nothing recorded)."""
+        feedback = self.feedback(sql_or_fingerprint)
+        return feedback.runs if feedback else 0
+
+    def fingerprints(self) -> list[str]:
+        return sorted(self._feedback)
+
+    def __len__(self) -> int:
+        return len(self._feedback)

@@ -66,6 +66,11 @@ def to_json(profile, include_samples: bool = True) -> str:
                     if a.sample.memaddr is not None
                     else {}
                 ),
+                **(
+                    {"taken": a.sample.branch_taken}
+                    if a.sample.branch_taken is not None
+                    else {}
+                ),
             }
             for a in profile.attributions
         ]

@@ -36,6 +36,12 @@ class Profile:
     attributions: list[Attribution]
     result: "QueryResult"
     machines: list[Machine] = field(default_factory=list)
+    # PGO feedback inputs (repro.pgo): the profiled SQL text, per-task
+    # observed tuple counts (when count_tuples was on), and the planner's
+    # cardinality estimates keyed by physical op_id
+    sql: str = ""
+    task_counts: dict[int, int] = field(default_factory=dict)
+    estimates: dict[int, float] = field(default_factory=dict)
 
     def __post_init__(self):
         if not self.machines:

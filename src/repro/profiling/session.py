@@ -75,6 +75,8 @@ def save_session(profile, directory) -> pathlib.Path:
                 record["callstack"] = list(sample.callstack)
             if sample.memaddr is not None:
                 record["memaddr"] = sample.memaddr
+            if sample.branch_taken is not None:
+                record["taken"] = sample.branch_taken
             handle.write(json.dumps(record) + "\n")
 
     meta = {

@@ -51,6 +51,20 @@ TRUE = ConstExpr(1, DataType.BOOL)
 FALSE = ConstExpr(0, DataType.BOOL)
 
 
+def _guarded_avg(total: Expr, count: Expr) -> Expr:
+    """``sum/count`` with a count-0 guard: empty input yields 0, not a fault.
+
+    Compiled CASE evaluates both arms eagerly, so the guard must also make
+    the *division itself* safe: the divisor is clamped to 1 when the count
+    is zero, and the outer CASE discards that arm's value."""
+    nonzero = CompareExpr("<>", count, ConstExpr(0, DataType.INT))
+    safe_count = CaseExpr(((nonzero, count),), ConstExpr(1, DataType.INT))
+    return CaseExpr(
+        ((nonzero, BinaryExpr("/", total, safe_count)),),
+        ConstExpr(0.0, DataType.FLOAT),
+    )
+
+
 @dataclass(frozen=True)
 class AbsentString:
     """Sentinel for a string literal not present in the dictionary.
@@ -128,7 +142,10 @@ class Binder:
         self,
         stmt: ast.SelectStmt,
         join_order_hint: list[str] | None = None,
+        model: CardinalityModel | None = None,
     ) -> BoundQuery:
+        """Bind a statement; ``model`` overrides the cardinality model
+        (profile-guided feedback injects observed cardinalities here)."""
         relations: list[_Relation] = []
         alias_index: dict[str, int] = {}
         for ref in stmt.tables:
@@ -148,7 +165,7 @@ class Binder:
 
         scalar_where, subquery_preds = _split_subquery_predicates(stmt.where)
         graph = self._build_graph(stmt, relations, scalar_where)
-        model = CardinalityModel()
+        model = model or CardinalityModel()
         joined = optimize_join_order(graph, model, join_order_hint)
         for predicate in subquery_preds:
             joined = self._unnest_subquery(predicate, joined, model)
@@ -300,7 +317,11 @@ class Binder:
                 # sum(cents)/count is already the natural-unit average
                 total = intern_agg("sum", arg, f"sum_{len(aggregates)}")
                 count = intern_agg("count", arg, f"count_{len(aggregates)}")
-                return BinaryExpr("/", total, count)
+                if stmt.group_by:
+                    # every group that exists holds >= 1 tuple; only the
+                    # ungrouped case can divide by a zero count
+                    return BinaryExpr("/", total, count)
+                return _guarded_avg(total, count)
             if name in ("sum", "min", "max"):
                 return intern_agg(name, arg, f"{name}_{len(aggregates)}")
             raise SqlError(f"unknown aggregate {name!r}")

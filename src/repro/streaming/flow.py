@@ -202,7 +202,17 @@ class EventFlow:
                 total = AggCall("sum", arg, IU(f"{name}_sum", arg.dtype))
                 count = AggCall("count", arg, IU(f"{name}_n", DataType.INT))
                 aggregates.extend((total, count))
-                ratio = BinaryExpr("/", IURef(total.output), IURef(count.output))
+                if keys:
+                    # grouped: every emitted group has a count >= 1
+                    ratio = BinaryExpr(
+                        "/", IURef(total.output), IURef(count.output)
+                    )
+                else:
+                    from repro.sql.binder import _guarded_avg
+
+                    ratio = _guarded_avg(
+                        IURef(total.output), IURef(count.output)
+                    )
                 out = IU(name, DataType.FLOAT)
                 post_map.append((out, ratio))
                 scope[name] = out

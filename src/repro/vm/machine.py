@@ -103,7 +103,9 @@ class Machine:
     # ------------------------------------------------------------------
     # sampling
 
-    def _take_sample(self, ip: int, memaddr: int | None) -> None:
+    def _take_sample(
+        self, ip: int, memaddr: int | None, branch: bool | None = None
+    ) -> None:
         config = self.pmu_config
         depth = len(self.call_stack)
         sample = Sample(
@@ -116,6 +118,7 @@ class Machine:
                 else None
             ),
             memaddr=memaddr if config.record_memaddr else None,
+            branch_taken=branch,
         )
         cost = config.sample_cost(depth)
         cost += self.samples.record(sample)
@@ -286,7 +289,8 @@ class Machine:
             elif op == op_names.CMPGEI:
                 regs[ins[1]] = 1 if regs[ins[2]] >= ins[3] else 0
             elif op == op_names.BRZ:
-                taken = regs[ins[1]] == 0
+                cond_true = regs[ins[1]] != 0
+                taken = not cond_true
                 miss = predictor.record(ip, taken)
                 cost = costs.CYCLES_BRANCH + (costs.CYCLES_BRANCH_MISS if miss else 0)
                 if miss and sample_on_brmiss:
@@ -299,7 +303,7 @@ class Machine:
                         self._countdown -= cost
                     if self._countdown <= 0 and config is not None:
                         state.cycles, state.instructions = cycles, instructions
-                        self._take_sample(ip, None)
+                        self._take_sample(ip, None, branch=cond_true)
                         cycles, instructions = state.cycles, state.instructions
                     ip = ins[2]
                     continue
@@ -311,7 +315,7 @@ class Machine:
                     self._countdown -= cost
                 if self._countdown <= 0 and config is not None:
                     state.cycles, state.instructions = cycles, instructions
-                    self._take_sample(ip - 1, None)
+                    self._take_sample(ip - 1, None, branch=cond_true)
                     cycles, instructions = state.cycles, state.instructions
                 continue
             elif op == op_names.BRNZ:
@@ -328,7 +332,7 @@ class Machine:
                         self._countdown -= cost
                     if self._countdown <= 0 and config is not None:
                         state.cycles, state.instructions = cycles, instructions
-                        self._take_sample(ip, None)
+                        self._take_sample(ip, None, branch=True)
                         cycles, instructions = state.cycles, state.instructions
                     ip = ins[2]
                     continue
@@ -340,7 +344,7 @@ class Machine:
                     self._countdown -= cost
                 if self._countdown <= 0 and config is not None:
                     state.cycles, state.instructions = cycles, instructions
-                    self._take_sample(ip - 1, None)
+                    self._take_sample(ip - 1, None, branch=False)
                     cycles, instructions = state.cycles, state.instructions
                 continue
             elif op == op_names.JMP:

@@ -79,6 +79,10 @@ class Sample:
     registers: tuple | None = None
     callstack: tuple[int, ...] | None = None
     memaddr: int | None = None
+    # for samples landing on a conditional branch: whether the branch
+    # *condition* was true (stable under BRZ/BRNZ layout inversion) — the
+    # LBR-style payload profile-guided optimization consumes
+    branch_taken: bool | None = None
 
 
 @dataclass

@@ -105,6 +105,26 @@ def test_cli_save_session(tmp_path):
     assert session.summary()["total_samples"] > 0
 
 
+def test_cli_pgo_report(tmp_path):
+    from repro import Database
+
+    store_dir = tmp_path / "pgo"
+    db = Database.tpch(scale=0.0005, seed=42)
+    db.enable_pgo(str(store_dir))
+    db.profile("select count(*) n from nation", pgo=True)
+    code, text = run_cli(["pgo", str(store_dir)])
+    assert code == 0
+    assert "1 profiled run(s)" in text
+    assert "cardinalities" in text
+    assert "scan|nation" in text
+
+
+def test_cli_pgo_empty_store(tmp_path):
+    code, text = run_cli(["pgo", str(tmp_path / "nothing")])
+    assert code == 1
+    assert "no feedback stored" in text
+
+
 def test_cli_dot_export(tmp_path):
     dot_path = tmp_path / "plan.dot"
     code, _ = run_cli([

@@ -93,6 +93,27 @@ def test_empty_table_queries():
     assert db.execute("select a from empty order by a limit 3").rows == []
 
 
+def test_avg_over_empty_input_returns_zero():
+    """Regression: ungrouped avg over zero rows used to fault (sum/count
+    with count = 0); the binder now guards the division."""
+    db = Database()
+    db.create_table("empty", Schema([Column("a", DataType.INT)]))
+    db.finalize()
+    sql = "select avg(a) m, count(*) n from empty"
+    assert db.execute(sql).rows == [(0.0, 0)]
+    assert db.execute_interpreted(sql).rows == [(0.0, 0)]
+
+
+def test_avg_empty_after_filter_matches_interpreter():
+    db = small_db()
+    sql = "select avg(m) v from t where i > 100"
+    compiled = db.execute(sql).rows
+    assert compiled == db.execute_interpreted(sql).rows == [(0.0,)]
+    # non-empty input still averages normally
+    full = db.execute("select avg(i) v from t").rows
+    assert full == [(1.5,)]
+
+
 def test_single_row_aggregates():
     db = Database()
     t = db.create_table("one", Schema([Column("a", DataType.INT)]))

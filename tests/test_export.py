@@ -58,3 +58,35 @@ def test_perf_script_shape(profile):
     assert all("ip=0x" in line for line in lines)
     assert any("pipeline_" in line for line in lines)
     assert any("ht_insert" in line or "kernel" in line for line in lines)
+
+
+def test_perf_script_ips_roundtrip_to_symbols(profile):
+    """Each dumped ip parses back and resolves to the printed symbol."""
+    for line in export.perf_script(profile).splitlines()[:50]:
+        ip = int(line.split("ip=")[1].split(" ")[0], 16)
+        symbol = line.rsplit("(", 1)[1].rstrip(")")
+        info = profile.program.function_at(ip)
+        assert (info.name if info else "[unknown]") == symbol
+
+
+def test_json_samples_include_branch_outcomes(profile):
+    """Branch samples carry the condition-truth payload (PGO feedback)."""
+    document = json.loads(export.to_json(profile))
+    with_taken = [s for s in document["samples"] if "taken" in s]
+    assert with_taken, "cycle sampling should land on some branches"
+    assert all(isinstance(s["taken"], bool) for s in with_taken)
+
+
+def test_folded_stacks_parse_back_to_weights(profile):
+    """The folded format round-trips: frames split cleanly and weights
+    reproduce the per-category sample totals."""
+    summary = profile.attribution_summary()
+    operator_mass = 0.0
+    for line in export.folded_stacks(profile).splitlines():
+        frames, count = line.rsplit(" ", 1)
+        parts = frames.split(";")
+        assert all(parts)
+        if parts[0].startswith("pipeline_"):
+            operator_mass += float(count)
+    expected = summary.operator_share * summary.total_samples
+    assert operator_mass == pytest.approx(expected, abs=0.01)

@@ -86,6 +86,16 @@ def test_avg_total(events_db):
     assert all(isinstance(r[1], float) for r in compiled.rows)
 
 
+def test_avg_over_empty_flow_returns_zero(events_db):
+    """Regression: an ungrouped avg whose filter kills every event used to
+    fault on the zero count; both execution paths now yield 0.0."""
+    flow = (EventFlow(events_db, "events")
+            .where("clicks > 1000000")
+            .aggregate(by=[], totals={"m": "avg(amount)", "n": "count(*)"}))
+    assert flow.run().rows == [(0.0, 0)]
+    assert flow.run_interpreted() == [(0.0, 0)]
+
+
 def test_reports_use_dsl_vocabulary(events_db):
     profile = basic_flow(events_db).profile()
     plan = profile.annotated_plan()
