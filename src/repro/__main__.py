@@ -102,6 +102,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "pgo":
         return _pgo_main(argv[1:], out)
+    if argv and argv[0] == "fuzz":
+        return _fuzz_main(argv[1:], out)
     args = build_parser().parse_args(argv)
     sql = resolve_sql(args)
     try:
@@ -239,6 +241,91 @@ def _pgo_main(argv: list[str], out) -> int:
                 print(f"    {key:<50} {weight:,.0f} samples", file=out)
         print(file=out)
     return 0
+
+
+def _fuzz_main(argv: list[str], out) -> int:
+    """``python -m repro fuzz --seed N --budget S``: differential fuzzing."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="Differentially fuzz the engine: generated queries run "
+                    "through every executor (compiled, parallel, "
+                    "interpreted, unoptimized, groupjoin, join-order hints, "
+                    "PGO) and must agree; disagreements are minimized and "
+                    "written out as replayable corpus cases.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master seed (default 0)"
+    )
+    parser.add_argument(
+        "--budget", type=int, default=200,
+        help="number of generated queries to check (default 200)",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="stop early after this much wall-clock time",
+    )
+    parser.add_argument(
+        "--max-hints", type=int, default=4,
+        help="join-order-hint permutations to try per query (default 4)",
+    )
+    parser.add_argument(
+        "--rotate-every", type=int, default=25,
+        help="generate a fresh random dataset every N queries (default 25)",
+    )
+    parser.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="write minimized failures to this directory",
+    )
+    parser.add_argument(
+        "--no-pgo", action="store_true",
+        help="skip the profile-guided-optimization executor configs",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without minimizing them",
+    )
+    parser.add_argument(
+        "--inject-miscompile", action="store_true",
+        help="deliberately miscompile every query (self-test: the oracle "
+             "and shrinker must catch the planted fault)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-query progress"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.fuzz import run_fuzz
+
+    if args.budget < 1:
+        print("--budget must be at least 1", file=out)
+        return 2
+
+    emit = None if args.quiet else (lambda message: print(message, file=out))
+    report = run_fuzz(
+        args.seed,
+        args.budget,
+        max_hints=args.max_hints,
+        rotate_every=args.rotate_every,
+        check_pgo=not args.no_pgo,
+        inject_fault="invert-first-cmpeq" if args.inject_miscompile else None,
+        time_limit=args.time_limit,
+        corpus_dir=args.corpus,
+        shrink_failures=not args.no_shrink,
+        log=emit,
+    )
+    print(
+        f"fuzz seed={report.seed}: ran {report.queries} queries "
+        f"({report.executions} executor runs, {report.datasets} datasets, "
+        f"{report.rejected} rejected) in {report.elapsed:.1f}s — "
+        f"{len(report.failures)} disagreement(s)",
+        file=out,
+    )
+    for failure in report.failures:
+        repro_sql = failure.shrunk_sql or failure.sql
+        print(f"  [{', '.join(failure.configs)}] {repro_sql}", file=out)
+        if failure.corpus_path:
+            print(f"    repro: {failure.corpus_path}", file=out)
+    return 0 if report.ok else 1
 
 
 def _print_result(result, max_rows: int, out) -> None:

@@ -31,6 +31,35 @@ class BackendOptions:
     # profile feedback (repro.pgo): branch layout + spill-cost hints,
     # resolved per function after optimization
     feedback: "BackendFeedback | None" = None
+    # deliberate-miscompile hook for the differential fuzzer: the named
+    # fault is injected into the first eligible instruction of the module
+    # (see _inject_fault).  Never set outside tests/fuzzing.
+    inject_fault: str | None = None
+
+
+_CMP_NEGATION = {
+    "cmpeq": "cmpne", "cmpne": "cmpeq",
+    "cmplt": "cmpge", "cmpge": "cmplt",
+    "cmple": "cmpgt", "cmpgt": "cmple",
+}
+
+
+def _inject_fault(function, kind: str) -> bool:
+    """Miscompile ``function`` in place; returns True once applied.
+
+    ``invert-first-cmpeq`` negates the module's first equality compare —
+    the shape of a real branch-inversion miscompile (cf. the PGO backend's
+    branch-layout feedback, which this guards against).  Equality feeds
+    filters, hash-join probes, and group-by key checks, never loop bounds,
+    so the damaged code still terminates — it just answers wrongly.
+    """
+    if kind != "invert-first-cmpeq":
+        raise BackendError(f"unknown fault injection {kind!r}")
+    for instr in function.all_instructions():
+        if instr.op == "cmpeq":
+            instr.op = _CMP_NEGATION[instr.op]
+            return True
+    return False
 
 
 @dataclass
@@ -71,6 +100,7 @@ def compile_module(
     """
     options = options or BackendOptions()
     units: list[LinkUnit] = []
+    fault_pending = options.inject_fault is not None
     for function in module.functions:
         verify_function(function)
         if options.optimize:
@@ -78,6 +108,8 @@ def compile_module(
             verify_function(function)
         else:
             opt_result = OptimizationResult()
+        if fault_pending and _inject_fault(function, options.inject_fault):
+            fault_pending = False
         if options.feedback is not None:
             # keys refer to post-optimization positions, so resolve here
             invert_branches, hotness = options.feedback.resolve(function)

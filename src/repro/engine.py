@@ -334,6 +334,7 @@ class Database:
         model=None,
         feedback=None,
         count_tuples: bool = False,
+        inject_fault: str | None = None,
     ) -> CompiledQuery:
         """Lower a query through every step, down to placed native code.
 
@@ -341,8 +342,10 @@ class Database:
         :class:`~repro.pgo.feedback.QueryFeedback` whose observed
         cardinalities build such a model automatically and whose branch /
         hotness statistics reach the backend when the planned shape matches
-        the profiled one.  Compile-time memory (bitmaps) is *not* released
-        here — cached plans keep it for their lifetime.
+        the profiled one.  ``inject_fault`` deliberately miscompiles the
+        query region (fuzzer ground truth; see repro.fuzz).  Compile-time
+        memory (bitmaps) is *not* released here — cached plans keep it for
+        their lifetime.
         """
         from repro.pgo.fingerprint import plan_signature
 
@@ -414,11 +417,17 @@ class Database:
                     branch_probability=probabilities,
                     hotness=dict(feedback.hotness),
                 )
-        query_options = (
-            dataclasses.replace(options, feedback=backend_feedback)
-            if backend_feedback is not None
-            else options
-        )
+        query_options = options
+        if backend_feedback is not None:
+            query_options = dataclasses.replace(
+                query_options, feedback=backend_feedback
+            )
+        if inject_fault is not None:
+            # only the query region is damaged; the runtime and syslib
+            # below still compile with the clean options
+            query_options = dataclasses.replace(
+                query_options, inject_fault=inject_fault
+            )
 
         syslib = compile_module(
             build_syslib_module(), program, CodeRegion.SYSLIB, options
@@ -461,6 +470,7 @@ class Database:
         workers: int = 1,
         morsel_size: int = 1024,
         repeats: int = 1,
+        instruction_limit: int | None = None,
     ):
         """Run a compiled query; returns ``(machines, rows, task_counts)``.
 
@@ -471,6 +481,8 @@ class Database:
             raise ReproError("workers must be >= 1")
         if repeats < 1:
             raise ReproError("repeats must be >= 1")
+        if morsel_size < 1:
+            raise ReproError("morsel_size must be >= 1")
         query_ir = compiled.query_ir
         mark = self.memory.mark()
         try:
@@ -482,6 +494,9 @@ class Database:
                 )
                 for _ in range(workers)
             ]
+            if instruction_limit is not None:
+                for machine in machines:
+                    machine.state.max_instructions = instruction_limit
             state_addr = self.memory.alloc(
                 query_ir.state.size_bytes, "query_state"
             )
@@ -522,6 +537,8 @@ class Database:
         model=None,
         feedback=None,
         count_tuples: bool = False,
+        inject_fault: str | None = None,
+        instruction_limit: int | None = None,
     ):
         """One-shot compile + run + full memory release (the non-cached
         path); returns ``(compiled, machines, rows, task_counts)``."""
@@ -531,9 +548,11 @@ class Database:
                 sql, profiler, join_order_hint, planner_options,
                 optimize_backend=optimize_backend, prebuilt=prebuilt,
                 model=model, feedback=feedback, count_tuples=count_tuples,
+                inject_fault=inject_fault,
             )
             machines, rows, task_counts = self._run_compiled(
-                compiled, profiler, workers, morsel_size, repeats
+                compiled, profiler, workers, morsel_size, repeats,
+                instruction_limit=instruction_limit,
             )
             return compiled, machines, rows, task_counts
         finally:
@@ -649,24 +668,35 @@ class Database:
         workers: int = 1,
         optimize_backend: bool = True,
         pgo: bool = False,
+        morsel_size: int = 1024,
+        inject_fault: str | None = None,
+        instruction_limit: int | None = None,
     ) -> QueryResult:
         """Compile and run a query; returns decoded rows.
 
         ``workers > 1`` runs the pipelines morsel-parallel on simulated
-        cores; ``cycles`` is then the slowest worker's clock (wall time).
+        cores; ``cycles`` is then the slowest worker's clock (wall time),
+        and ``morsel_size`` sets the per-dispatch tuple count (small sizes
+        exercise the scheduler; the differential fuzzer sweeps this).
         ``optimize_backend=False`` disables constant folding/CSE/DCE (for
         ablation studies).  ``pgo=True`` consults the feedback store set up
         by :meth:`enable_pgo`: recorded profiles steer join ordering, block
         layout and spilling, and compiled plans are cached by query
-        fingerprint until fresher feedback arrives."""
+        fingerprint until fresher feedback arrives.  ``inject_fault``
+        deliberately miscompiles the query (fuzzer ground truth) and
+        ``instruction_limit`` bounds each worker's instruction count —
+        both are testing knobs, never set in normal operation."""
         if pgo:
+            if inject_fault is not None:
+                raise ReproError("inject_fault is not supported with pgo=True")
             return self._execute_pgo(
                 sql, join_order_hint, planner_options, workers,
-                optimize_backend,
+                optimize_backend, morsel_size=morsel_size,
             )
         compiled, machines, rows, _ = self._compile_and_run(
             sql, None, join_order_hint, planner_options, workers=workers,
-            optimize_backend=optimize_backend,
+            morsel_size=morsel_size, optimize_backend=optimize_backend,
+            inject_fault=inject_fault, instruction_limit=instruction_limit,
         )
         return self._result(compiled.physical, machines, rows)
 
@@ -698,7 +728,7 @@ class Database:
 
     def _execute_pgo(
         self, sql, join_order_hint, planner_options, workers,
-        optimize_backend,
+        optimize_backend, morsel_size: int = 1024,
     ) -> QueryResult:
         from repro.pgo.fingerprint import fingerprint
 
@@ -725,7 +755,7 @@ class Database:
         else:
             self.plan_cache_hits += 1
         machines, rows, _ = self._run_compiled(
-            cached.compiled, None, workers=workers
+            cached.compiled, None, workers=workers, morsel_size=morsel_size
         )
         return self._result(cached.compiled.physical, machines, rows)
 

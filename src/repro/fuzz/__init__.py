@@ -1,0 +1,63 @@
+"""Differential query fuzzer: generator, multi-executor oracle, shrinker.
+
+Grammar-driven SQL generation over seeded random datasets, a differential
+oracle spanning every executor the engine has (compiled single- and
+multi-worker, interpreted, unoptimized, groupjoin, join-order hints, and
+the PGO feedback path), and a delta-debugging shrinker that reduces any
+disagreement to a checked-in, replayable corpus case.
+"""
+
+from repro.fuzz.dataset import (
+    Dataset,
+    ForeignKey,
+    TableData,
+    build_database,
+    extract_dataset,
+    random_dataset,
+)
+from repro.fuzz.generator import GeneratedQuery, QueryGenerator
+from repro.fuzz.oracle import (
+    CheckResult,
+    DifferentialOracle,
+    Disagreement,
+    Outcome,
+    bags_equal,
+    check_query,
+    operator_count,
+)
+from repro.fuzz.shrink import Shrinker, ShrinkResult, ordered_by_of
+from repro.fuzz.corpus import (
+    CorpusCase,
+    load_case,
+    load_directory,
+    replay_case,
+)
+from repro.fuzz.harness import FuzzFailure, FuzzReport, run_fuzz
+
+__all__ = [
+    "CheckResult",
+    "CorpusCase",
+    "Dataset",
+    "DifferentialOracle",
+    "Disagreement",
+    "ForeignKey",
+    "FuzzFailure",
+    "FuzzReport",
+    "GeneratedQuery",
+    "Outcome",
+    "QueryGenerator",
+    "ShrinkResult",
+    "Shrinker",
+    "TableData",
+    "bags_equal",
+    "build_database",
+    "check_query",
+    "extract_dataset",
+    "load_case",
+    "load_directory",
+    "operator_count",
+    "ordered_by_of",
+    "random_dataset",
+    "replay_case",
+    "run_fuzz",
+]

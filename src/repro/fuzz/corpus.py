@@ -1,0 +1,70 @@
+"""Corpus persistence and replay.
+
+A corpus case is a self-contained JSON document: a dataset (schemas plus
+rows) and a SQL query, plus provenance metadata.  Cases come from two
+places — minimized fuzzer findings, and hand-written edge cases checked
+into ``tests/corpus/`` — and both replay identically: rebuild the
+database, run the full differential oracle, demand agreement.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.fuzz.dataset import Dataset, build_database
+from repro.fuzz.oracle import CheckResult, DifferentialOracle
+from repro.fuzz.shrink import ordered_by_of
+from repro.sql import parse
+
+
+@dataclass
+class CorpusCase:
+    name: str
+    description: str
+    sql: str
+    dataset: Dataset
+    path: Path | None = None
+
+
+def load_case(path: str | Path) -> CorpusCase:
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot load corpus case {path}: {exc}") from exc
+    for key in ("name", "sql", "dataset"):
+        if key not in document:
+            raise ReproError(f"corpus case {path} is missing {key!r}")
+    return CorpusCase(
+        name=document["name"],
+        description=document.get("description", ""),
+        sql=document["sql"],
+        dataset=Dataset.from_json(document["dataset"]),
+        path=path,
+    )
+
+
+def load_directory(directory: str | Path) -> list[CorpusCase]:
+    return [
+        load_case(path)
+        for path in sorted(Path(directory).glob("*.json"))
+    ]
+
+
+def replay_case(
+    case: CorpusCase, *, max_hints: int = 4, check_pgo: bool = True
+) -> CheckResult:
+    """Rebuild the case's database and run the oracle on its query."""
+    db = build_database(case.dataset)
+    oracle = DifferentialOracle(
+        db, max_hints=max_hints, check_pgo=check_pgo
+    )
+    stmt = parse(case.sql)
+    return oracle.check(
+        case.sql,
+        aliases=[ref.alias for ref in stmt.tables],
+        ordered_by=ordered_by_of(stmt),
+    )

@@ -1,0 +1,247 @@
+"""Fuzzing datasets: portable table specs the shrinker can rebuild.
+
+A :class:`Dataset` is the value-level description of a database — schemas
+plus decoded rows plus foreign-key metadata.  Unlike a live
+:class:`~repro.engine.Database` it survives JSON round-trips, so minimized
+failures check into ``tests/corpus/`` as self-contained repros, and the
+delta-debugging shrinker can rebuild a smaller database per candidate.
+
+``random_dataset`` grows the kind of data differential testing wants:
+skewed join keys (one hot parent), dangling and zero-sentinel foreign keys
+(this engine has no SQL NULL — a FK of 0 pointing at ids that start from 1
+is the idiomatic "no parent"), duplicate strings, empty tables, and
+boundary dates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.catalog import Column, DataType, Schema
+from repro.catalog.schema import decode_date
+from repro.engine import Database
+from repro.errors import ReproError
+
+_STRING_POOL = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+    "red", "green", "blue", "amber", "none", "n/a",
+]
+
+
+@dataclass
+class TableData:
+    """One table: column definitions plus decoded (Python-native) rows."""
+
+    name: str
+    columns: list[tuple[str, DataType]]
+    rows: list[tuple]
+
+    def column_index(self, name: str) -> int:
+        for i, (col, _) in enumerate(self.columns):
+            if col == name:
+                return i
+        raise ReproError(f"no column {name!r} in fuzz table {self.name!r}")
+
+    def values_of(self, name: str) -> list:
+        index = self.column_index(name)
+        return [row[index] for row in self.rows]
+
+
+@dataclass
+class ForeignKey:
+    """``child.column`` references ``parent.column`` (join edge metadata)."""
+
+    child: str
+    child_column: str
+    parent: str
+    parent_column: str
+
+
+@dataclass
+class Dataset:
+    """A rebuildable database description."""
+
+    tables: dict[str, TableData] = field(default_factory=dict)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def copy(self) -> "Dataset":
+        return Dataset(
+            tables={
+                name: TableData(t.name, list(t.columns), list(t.rows))
+                for name, t in self.tables.items()
+            },
+            foreign_keys=list(self.foreign_keys),
+        )
+
+    def row_total(self) -> int:
+        return sum(len(t.rows) for t in self.tables.values())
+
+    # -- JSON round trip -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "tables": {
+                name: {
+                    "columns": [[c, d.value] for c, d in t.columns],
+                    "rows": [list(row) for row in t.rows],
+                }
+                for name, t in self.tables.items()
+            },
+            "foreign_keys": [
+                [fk.child, fk.child_column, fk.parent, fk.parent_column]
+                for fk in self.foreign_keys
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, document: dict) -> "Dataset":
+        tables = {}
+        for name, spec in document["tables"].items():
+            columns = [(c, DataType(d)) for c, d in spec["columns"]]
+            rows = [tuple(row) for row in spec["rows"]]
+            tables[name] = TableData(name, columns, rows)
+        fks = [
+            ForeignKey(*entry) for entry in document.get("foreign_keys", [])
+        ]
+        return cls(tables=tables, foreign_keys=fks)
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=1)
+
+
+def build_database(dataset: Dataset, memory_bytes: int = 1 << 22) -> Database:
+    """Materialize a dataset as a ready-to-query database."""
+    db = Database(memory_bytes=memory_bytes)
+    for table in dataset.tables.values():
+        created = db.catalog.create_table(
+            table.name,
+            Schema([Column(name, dtype) for name, dtype in table.columns]),
+        )
+        created.extend(table.rows)
+    db.finalize()
+    return db
+
+
+def extract_dataset(db: Database) -> Dataset:
+    """Read a live database back into a portable dataset.
+
+    This is how a disagreement found against *any* database (TPC-H, the
+    paper example, a fuzz dataset) becomes shrinkable: decode every column
+    to Python values and rebuild from there.
+    """
+    dataset = Dataset()
+    for table in db.catalog.tables.values():
+        columns = [(c.name, c.dtype) for c in table.schema]
+        decoded_columns = []
+        for column_def, column in zip(table.schema, table.columns):
+            decoded_columns.append(
+                [_decode(db, value, column_def.dtype) for value in column]
+            )
+        rows = list(zip(*decoded_columns)) if decoded_columns else []
+        if table.row_count == 0:
+            rows = []
+        dataset.tables[table.name] = TableData(table.name, columns, rows)
+    return dataset
+
+
+def _decode(db: Database, value, dtype: DataType):
+    if dtype is DataType.DECIMAL:
+        return value / 100
+    if dtype is DataType.DATE:
+        return decode_date(value)
+    if dtype is DataType.STRING:
+        return db.catalog.dictionary.value_of(value)
+    return value
+
+
+def random_dataset(seed: int) -> Dataset:
+    """A seeded 3-to-4-table dataset with fuzz-friendly pathologies."""
+    rng = Random(seed)
+    dataset = Dataset()
+
+    n_dim = rng.randint(6, 14)
+    dim_rows = []
+    for i in range(1, n_dim + 1):
+        dim_rows.append((
+            i,
+            rng.choice(_STRING_POOL),
+            rng.randint(-20, 20),
+            rng.choice([0, 1]),
+        ))
+    dataset.tables["dim"] = TableData(
+        "dim",
+        [("id", DataType.INT), ("tag", DataType.STRING),
+         ("score", DataType.INT), ("flag", DataType.BOOL)],
+        dim_rows,
+    )
+
+    hot_dim = rng.randint(1, n_dim)  # the skew target
+    n_mid = rng.randint(16, 40)
+    mid_rows = []
+    for i in range(1, n_mid + 1):
+        roll = rng.random()
+        if roll < 0.40:
+            dim_id = hot_dim  # skew: many children of one parent
+        elif roll < 0.55:
+            dim_id = 0  # zero sentinel: "no parent"
+        elif roll < 0.62:
+            dim_id = n_dim + rng.randint(1, 3)  # dangling reference
+        else:
+            dim_id = rng.randint(1, n_dim)
+        mid_rows.append((
+            i,
+            dim_id,
+            round(rng.uniform(-40.0, 120.0), 2),
+            rng.choice(["2020-01-01", "2020-06-15", "2020-12-31",
+                        "2021-02-28", "2021-07-04"]),
+        ))
+    dataset.tables["mid"] = TableData(
+        "mid",
+        [("id", DataType.INT), ("dim_id", DataType.INT),
+         ("amount", DataType.DECIMAL), ("placed", DataType.DATE)],
+        mid_rows,
+    )
+
+    n_fact = rng.randint(20, 56)
+    hot_mid = rng.randint(1, n_mid)
+    fact_rows = []
+    for i in range(1, n_fact + 1):
+        roll = rng.random()
+        if roll < 0.35:
+            mid_id = hot_mid
+        elif roll < 0.50:
+            mid_id = 0
+        else:
+            mid_id = rng.randint(1, n_mid)
+        fact_rows.append((
+            i,
+            mid_id,
+            rng.randint(0, 9),
+            round(rng.uniform(0.0, 50.0), 2),
+            rng.choice(_STRING_POOL),
+        ))
+    dataset.tables["fact"] = TableData(
+        "fact",
+        [("id", DataType.INT), ("mid_id", DataType.INT),
+         ("qty", DataType.INT), ("price", DataType.DECIMAL),
+         ("label", DataType.STRING)],
+        fact_rows,
+    )
+
+    if rng.random() < 0.5:
+        # an empty relation: scans, joins, and aggregates over nothing
+        dataset.tables["void"] = TableData(
+            "void",
+            [("id", DataType.INT), ("dim_id", DataType.INT),
+             ("weight", DataType.INT)],
+            [],
+        )
+        dataset.foreign_keys.append(ForeignKey("void", "dim_id", "dim", "id"))
+
+    dataset.foreign_keys.extend([
+        ForeignKey("mid", "dim_id", "dim", "id"),
+        ForeignKey("fact", "mid_id", "mid", "id"),
+    ])
+    return dataset

@@ -1,0 +1,309 @@
+"""Multi-executor differential oracle.
+
+One query, many executors: the compiled backend single- and multi-worker,
+the reference interpreter, the unoptimized backend, groupjoin fusion,
+join-order-hint permutations, and the PGO path (profile, cold execute,
+warm plan-cache execute).  All of them must agree on the result bag —
+with ordered-prefix semantics when the query carries ORDER BY, and
+relative float tolerance for aggregate arithmetic whose evaluation order
+legitimately differs across executors (morsel-parallel partial sums).
+
+Frontend rejections (bind or plan errors on the reference path) mean the
+query is uninteresting, not wrong; consistent *runtime* errors across all
+executors count as agreement.  A config whose plan is impossible (a
+disconnected join-order hint) is skipped, never compared.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError, PlanError, ReproError, SqlError
+from repro.plan.physical import PlannerOptions
+
+REL_TOLERANCE = 1e-7
+ABS_TOLERANCE = 1e-9
+# compiled executions run under an instruction budget so a miscompiled
+# loop cannot hang the fuzzer (the VM raises instead)
+INSTRUCTION_LIMIT = 200_000_000
+
+
+@dataclass
+class Outcome:
+    """What one executor config produced for one query."""
+
+    config: str
+    kind: str  # "rows" | "error" | "skipped"
+    rows: list[tuple] | None = None
+    error: str | None = None
+
+
+@dataclass
+class Disagreement:
+    """A config whose outcome differs from the reference."""
+
+    config: str
+    reference: Outcome
+    outcome: Outcome
+    reason: str
+
+
+@dataclass
+class CheckResult:
+    sql: str
+    rejected: bool = False
+    reject_reason: str | None = None
+    outcomes: list[Outcome] = field(default_factory=list)
+    disagreements: list[Disagreement] = field(default_factory=list)
+
+    @property
+    def agreed(self) -> bool:
+        return not self.rejected and not self.disagreements
+
+
+def canonical_row(row: tuple) -> tuple:
+    """Round floats to 9 significant digits for exact-bag comparison."""
+    return tuple(
+        float(f"{v:.9g}") if isinstance(v, float) else v for v in row
+    )
+
+
+def _values_close(a, b) -> bool:
+    if isinstance(a, float) or isinstance(b, float):
+        if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+            return False
+        return math.isclose(a, b, rel_tol=REL_TOLERANCE, abs_tol=ABS_TOLERANCE)
+    return a == b
+
+
+def _rows_close(a: tuple, b: tuple) -> bool:
+    return len(a) == len(b) and all(
+        _values_close(x, y) for x, y in zip(a, b)
+    )
+
+
+def bags_equal(got: list[tuple], want: list[tuple]) -> bool:
+    """Multiset equality with float tolerance.
+
+    Exact comparison on canonicalized rows first; only on mismatch fall
+    back to greedy tolerant matching (results here are small — tens of
+    rows — so the quadratic fallback is cheap).
+    """
+    if len(got) != len(want):
+        return False
+    from collections import Counter
+
+    if Counter(map(canonical_row, got)) == Counter(map(canonical_row, want)):
+        return True
+    remaining = list(want)
+    for row in got:
+        for i, candidate in enumerate(remaining):
+            if _rows_close(row, candidate):
+                del remaining[i]
+                break
+        else:
+            return False
+    return True
+
+
+def _key_leq(a, b, ascending: bool) -> bool:
+    """Is ``a`` ordered no later than ``b`` for one sort key?"""
+    if _values_close(a, b):
+        return True
+    if isinstance(a, bool):
+        a = int(a)
+    if isinstance(b, bool):
+        b = int(b)
+    return a <= b if ascending else a >= b
+
+
+def is_sorted(rows: list[tuple], ordered_by: list[tuple[int, bool]]) -> bool:
+    """Check rows respect the ORDER BY keys (ties break to later keys)."""
+    for prev, row in zip(rows, rows[1:]):
+        for index, ascending in ordered_by:
+            if _values_close(prev[index], row[index]):
+                continue
+            if not _key_leq(prev[index], row[index], ascending):
+                return False
+            break
+    return True
+
+
+class DifferentialOracle:
+    """Runs one query through every executor config and compares."""
+
+    def __init__(
+        self,
+        db,
+        *,
+        max_hints: int = 4,
+        check_pgo: bool = True,
+        inject_fault: str | None = None,
+        instruction_limit: int = INSTRUCTION_LIMIT,
+    ):
+        self.db = db
+        self.max_hints = max_hints
+        self.check_pgo = check_pgo
+        # when set, the named fault is injected into the *reference*
+        # compile — every healthy executor should then catch the damage
+        self.inject_fault = inject_fault
+        self.instruction_limit = instruction_limit
+
+    # -- executor configs ----------------------------------------------------
+
+    def _run(self, config: str, thunk) -> Outcome:
+        try:
+            result = thunk()
+        except PlanError as exc:
+            if config.startswith("hint["):
+                # a disconnected join order is the planner refusing the
+                # config, not a wrong answer
+                return Outcome(config, "skipped", error=str(exc))
+            return Outcome(config, "error", error=f"PlanError: {exc}")
+        except Exception as exc:  # noqa: BLE001 - any runtime failure counts
+            return Outcome(config, "error", error=f"{type(exc).__name__}: {exc}")
+        return Outcome(config, "rows", rows=list(result.rows))
+
+    def outcomes_for(self, sql: str, aliases: list[str]) -> list[Outcome]:
+        db = self.db
+        fault = self.inject_fault
+        limit = self.instruction_limit
+        runs: list[tuple[str, object]] = [
+            (
+                "compiled-w1",
+                lambda: db.execute(
+                    sql, inject_fault=fault, instruction_limit=limit
+                ),
+            ),
+            (
+                "compiled-w4-m7",
+                lambda: db.execute(
+                    sql, workers=4, morsel_size=7,
+                    inject_fault=fault, instruction_limit=limit,
+                ),
+            ),
+            ("interpreted", lambda: db.execute_interpreted(sql)),
+            (
+                "unoptimized",
+                lambda: db.execute(
+                    sql, optimize_backend=False,
+                    inject_fault=fault, instruction_limit=limit,
+                ),
+            ),
+            (
+                "groupjoin",
+                lambda: db.execute(
+                    sql,
+                    planner_options=PlannerOptions(enable_groupjoin=True),
+                    inject_fault=fault, instruction_limit=limit,
+                ),
+            ),
+        ]
+        if len(aliases) > 1:
+            hints = list(itertools.permutations(aliases))[: self.max_hints]
+            for i, hint in enumerate(hints):
+                order = list(hint)
+                runs.append((
+                    f"hint[{','.join(order)}]",
+                    lambda order=order: db.execute(
+                        sql, join_order_hint=order,
+                        inject_fault=fault, instruction_limit=limit,
+                    ),
+                ))
+        outcomes = [self._run(config, thunk) for config, thunk in runs]
+        if self.check_pgo and fault is None:
+            outcomes.extend(self._pgo_outcomes(sql))
+        return outcomes
+
+    def _pgo_outcomes(self, sql: str) -> list[Outcome]:
+        """Profile-feedback compiles: sampled run, cold plan, warm cache."""
+        db = self.db
+        saved_store = db.pgo_store
+        db.enable_pgo()
+        try:
+            profiled = self._run(
+                "pgo-profile", lambda: db.profile(sql, pgo=True).result
+            )
+            cold = self._run("pgo-cold", lambda: db.execute(sql, pgo=True))
+            warm = self._run("pgo-warm", lambda: db.execute(sql, pgo=True))
+            return [profiled, cold, warm]
+        finally:
+            db.pgo_store = saved_store
+            db._plan_cache.clear()
+
+    # -- comparison ----------------------------------------------------------
+
+    def check(
+        self, sql: str, aliases: list[str] | None = None,
+        ordered_by: list[tuple[int, bool]] | None = None,
+    ) -> CheckResult:
+        result = CheckResult(sql=sql)
+        aliases = aliases or []
+        ordered_by = ordered_by or []
+
+        # frontend gate: a query the binder/planner rejects is not a fuzz
+        # finding, it is the generator missing a grammar rule
+        try:
+            self.db._plan(sql)
+        except (SqlError, PlanError, CatalogError) as exc:
+            result.rejected = True
+            result.reject_reason = f"{type(exc).__name__}: {exc}"
+            return result
+
+        outcomes = self.outcomes_for(sql, aliases)
+        result.outcomes = outcomes
+        reference = outcomes[0]
+
+        for outcome in outcomes[1:]:
+            if outcome.kind == "skipped":
+                continue
+            if outcome.kind != reference.kind:
+                result.disagreements.append(Disagreement(
+                    outcome.config, reference, outcome,
+                    reason=(
+                        f"reference {reference.kind} vs "
+                        f"{outcome.config} {outcome.kind}"
+                    ),
+                ))
+                continue
+            if outcome.kind == "rows" and not bags_equal(
+                outcome.rows, reference.rows
+            ):
+                result.disagreements.append(Disagreement(
+                    outcome.config, reference, outcome,
+                    reason="result bags differ",
+                ))
+
+        if ordered_by:
+            for outcome in outcomes:
+                if outcome.kind == "rows" and not is_sorted(
+                    outcome.rows, ordered_by
+                ):
+                    result.disagreements.append(Disagreement(
+                        outcome.config, reference, outcome,
+                        reason="ORDER BY violated",
+                    ))
+        return result
+
+
+def check_query(db, query, **kwargs) -> CheckResult:
+    """Convenience wrapper for a :class:`GeneratedQuery`-shaped object."""
+    oracle = DifferentialOracle(db, **kwargs)
+    return oracle.check(
+        query.sql, aliases=list(query.aliases),
+        ordered_by=list(query.ordered_by),
+    )
+
+
+def operator_count(db, sql: str) -> int:
+    """Logical-plan operator count — the shrinker's primary size metric."""
+    try:
+        bound, _physical = db._plan(sql)
+    except ReproError:
+        return 10**6
+    plan = getattr(bound, "plan", None)
+    if plan is None:
+        return 10**6
+    return sum(1 for _ in plan.walk())

@@ -1,0 +1,384 @@
+"""Delta-debugging shrinker for differential disagreements.
+
+Given a (dataset, query) pair on which the oracle disagrees, reduce both
+until no single reduction keeps the disagreement alive: drop tables from
+the join (purging every reference to their alias), drop WHERE conjuncts,
+GROUP BY keys, HAVING/ORDER BY/LIMIT/DISTINCT clauses and select items,
+replace compound expressions by their children, and ddmin each table's
+rows.  Candidates the binder rejects are simply uninteresting — the
+oracle's frontend gate filters them — so reductions may be generated
+liberally without re-implementing type rules.
+
+The size metric is lexicographic: logical-plan operator count, then total
+dataset rows, then SQL length.  A genuine single-operator miscompile
+typically lands at scan → filter/aggregate → output over a handful of rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sql import ast, parse, unparse
+from repro.fuzz.dataset import Dataset, build_database
+from repro.fuzz.oracle import DifferentialOracle, operator_count
+
+
+def ordered_by_of(stmt: ast.SelectStmt) -> list[tuple[int, bool]]:
+    """Map ORDER BY alias references back to output column indexes."""
+    alias_index = {
+        item.alias: i for i, item in enumerate(stmt.items) if item.alias
+    }
+    ordered = []
+    for order in stmt.order_by:
+        expr = order.expr
+        if isinstance(expr, ast.Identifier) and expr.qualifier is None:
+            index = alias_index.get(expr.name)
+            if index is not None:
+                ordered.append((index, order.ascending))
+    return ordered
+
+
+def _mentions(node: ast.Node, alias: str) -> bool:
+    if isinstance(node, ast.Identifier):
+        return node.qualifier == alias
+    if isinstance(node, ast.UnaryOp):
+        return _mentions(node.operand, alias)
+    if isinstance(node, ast.BinaryOp):
+        return _mentions(node.left, alias) or _mentions(node.right, alias)
+    if isinstance(node, ast.FuncCall):
+        return any(_mentions(a, alias) for a in node.args)
+    if isinstance(node, ast.Between):
+        return any(
+            _mentions(n, alias) for n in (node.operand, node.low, node.high)
+        )
+    if isinstance(node, ast.InList):
+        return _mentions(node.operand, alias) or any(
+            _mentions(v, alias) for v in node.values
+        )
+    if isinstance(node, ast.Like):
+        return _mentions(node.operand, alias)
+    if isinstance(node, ast.Case):
+        return any(
+            _mentions(c, alias) or _mentions(v, alias) for c, v in node.whens
+        ) or (node.default is not None and _mentions(node.default, alias))
+    return False
+
+
+def _conjuncts(node: ast.Node | None) -> list[ast.Node]:
+    if node is None:
+        return []
+    if isinstance(node, ast.BinaryOp) and node.op == "and":
+        return _conjuncts(node.left) + _conjuncts(node.right)
+    return [node]
+
+
+def _conjoin(parts: list[ast.Node]) -> ast.Node | None:
+    result: ast.Node | None = None
+    for part in parts:
+        result = part if result is None else ast.BinaryOp("and", result, part)
+    return result
+
+
+def _expr_children(node: ast.Node) -> list[ast.Node]:
+    """One-step simplifications: children that could replace the node."""
+    if isinstance(node, ast.UnaryOp):
+        return [node.operand]
+    if isinstance(node, ast.BinaryOp):
+        return [node.left, node.right]
+    if isinstance(node, ast.Case):
+        out = [value for _, value in node.whens]
+        if node.default is not None:
+            out.append(node.default)
+        if len(node.whens) > 1:
+            out.append(ast.Case(node.whens[:1], node.default))
+        return out
+    if isinstance(node, ast.Between):
+        return [ast.BinaryOp(">=", node.operand, node.low)]
+    if isinstance(node, ast.InList):
+        if len(node.values) > 1:
+            return [ast.InList(node.operand, node.values[:1], node.negated)]
+        return [ast.BinaryOp("=", node.operand, node.values[0])]
+    if isinstance(node, ast.FuncCall) and node.args:
+        arg = node.args[0]
+        if isinstance(arg, (ast.BinaryOp, ast.UnaryOp, ast.Case)):
+            return [
+                ast.FuncCall(node.name, (child,))
+                for child in _expr_children(arg)
+            ]
+    return []
+
+
+def _copy_stmt(stmt: ast.SelectStmt) -> ast.SelectStmt:
+    return ast.SelectStmt(
+        distinct=stmt.distinct,
+        items=list(stmt.items),
+        tables=list(stmt.tables),
+        where=stmt.where,
+        group_by=list(stmt.group_by),
+        having=stmt.having,
+        order_by=list(stmt.order_by),
+        limit=stmt.limit,
+    )
+
+
+def _count_star_item() -> ast.SelectItem:
+    return ast.SelectItem(ast.FuncCall("count", (ast.Star(),)), "c0")
+
+
+def _stmt_reductions(stmt: ast.SelectStmt):
+    """Yield candidate statements, biggest cuts first."""
+    # drop a table, purging everything that references its alias
+    if len(stmt.tables) > 1:
+        for i, ref in enumerate(stmt.tables):
+            alias = ref.alias
+            candidate = _copy_stmt(stmt)
+            candidate.tables = stmt.tables[:i] + stmt.tables[i + 1:]
+            candidate.items = [
+                item for item in stmt.items if not _mentions(item.expr, alias)
+            ]
+            candidate.where = _conjoin([
+                c for c in _conjuncts(stmt.where) if not _mentions(c, alias)
+            ])
+            candidate.group_by = [
+                k for k in stmt.group_by if not _mentions(k, alias)
+            ]
+            if stmt.having is not None and _mentions(stmt.having, alias):
+                candidate.having = None
+            surviving = {item.alias for item in candidate.items}
+            candidate.order_by = [
+                o for o in stmt.order_by
+                if isinstance(o.expr, ast.Identifier)
+                and o.expr.qualifier is None and o.expr.name in surviving
+            ]
+            if not candidate.items:
+                candidate.items = [_count_star_item()]
+                candidate.order_by = []
+            yield candidate
+    # drop whole clauses
+    if stmt.where is not None:
+        candidate = _copy_stmt(stmt)
+        candidate.where = None
+        yield candidate
+    if stmt.group_by:
+        candidate = _copy_stmt(stmt)
+        candidate.group_by = []
+        keys = set(stmt.group_by)
+        candidate.items = [
+            item for item in stmt.items if item.expr not in keys
+        ] or [_count_star_item()]
+        surviving = {item.alias for item in candidate.items}
+        candidate.order_by = [
+            o for o in stmt.order_by
+            if isinstance(o.expr, ast.Identifier)
+            and o.expr.qualifier is None and o.expr.name in surviving
+        ]
+        candidate.having = None
+        yield candidate
+    if stmt.having is not None:
+        candidate = _copy_stmt(stmt)
+        candidate.having = None
+        yield candidate
+    if stmt.order_by:
+        candidate = _copy_stmt(stmt)
+        candidate.order_by = []
+        candidate.limit = None
+        yield candidate
+    if stmt.limit is not None:
+        candidate = _copy_stmt(stmt)
+        candidate.limit = None
+        yield candidate
+    if stmt.distinct:
+        candidate = _copy_stmt(stmt)
+        candidate.distinct = False
+        yield candidate
+    # drop individual WHERE conjuncts
+    conjuncts = _conjuncts(stmt.where)
+    if len(conjuncts) > 1:
+        for i in range(len(conjuncts)):
+            candidate = _copy_stmt(stmt)
+            candidate.where = _conjoin(conjuncts[:i] + conjuncts[i + 1:])
+            yield candidate
+    # drop individual GROUP BY keys (and their select item)
+    if len(stmt.group_by) > 1:
+        for i, key in enumerate(stmt.group_by):
+            candidate = _copy_stmt(stmt)
+            candidate.group_by = stmt.group_by[:i] + stmt.group_by[i + 1:]
+            candidate.items = [
+                item for item in stmt.items if item.expr != key
+            ] or [_count_star_item()]
+            surviving = {item.alias for item in candidate.items}
+            candidate.order_by = [
+                o for o in stmt.order_by
+                if isinstance(o.expr, ast.Identifier)
+                and o.expr.qualifier is None and o.expr.name in surviving
+            ]
+            yield candidate
+    # drop individual select items
+    if len(stmt.items) > 1:
+        for i, item in enumerate(stmt.items):
+            if item.expr in stmt.group_by:
+                continue  # handled with its key above
+            candidate = _copy_stmt(stmt)
+            candidate.items = stmt.items[:i] + stmt.items[i + 1:]
+            surviving = {it.alias for it in candidate.items}
+            candidate.order_by = [
+                o for o in stmt.order_by
+                if isinstance(o.expr, ast.Identifier)
+                and o.expr.qualifier is None and o.expr.name in surviving
+            ]
+            yield candidate
+    # simplify expressions in place
+    for i, item in enumerate(stmt.items):
+        for child in _expr_children(item.expr):
+            candidate = _copy_stmt(stmt)
+            candidate.items = list(stmt.items)
+            candidate.items[i] = ast.SelectItem(child, item.alias)
+            yield candidate
+    for i, conjunct in enumerate(conjuncts):
+        for child in _expr_children(conjunct):
+            candidate = _copy_stmt(stmt)
+            parts = list(conjuncts)
+            parts[i] = child
+            candidate.where = _conjoin(parts)
+            yield candidate
+    if stmt.having is not None:
+        for child in _expr_children(stmt.having):
+            candidate = _copy_stmt(stmt)
+            candidate.having = child
+            yield candidate
+
+
+@dataclass
+class ShrinkResult:
+    sql: str
+    dataset: Dataset
+    checks: int
+    operators: int
+    row_total: int
+
+
+class Shrinker:
+    """Minimizes a disagreeing (dataset, sql) pair to a small repro."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        sql: str,
+        *,
+        max_hints: int = 2,
+        check_pgo: bool = False,
+        inject_fault: str | None = None,
+        max_checks: int = 400,
+    ):
+        self.dataset = dataset.copy()
+        self.sql = sql
+        self.max_hints = max_hints
+        self.check_pgo = check_pgo
+        self.inject_fault = inject_fault
+        self.max_checks = max_checks
+        self.checks = 0
+
+    def _interesting(self, dataset: Dataset, stmt: ast.SelectStmt) -> bool:
+        if self.checks >= self.max_checks:
+            return False
+        self.checks += 1
+        try:
+            db = build_database(dataset)
+        except Exception:  # noqa: BLE001 - a dataset the engine rejects
+            return False
+        oracle = DifferentialOracle(
+            db,
+            max_hints=self.max_hints,
+            check_pgo=self.check_pgo,
+            inject_fault=self.inject_fault,
+        )
+        result = oracle.check(
+            unparse(stmt),
+            aliases=[ref.alias for ref in stmt.tables],
+            ordered_by=ordered_by_of(stmt),
+        )
+        return bool(result.disagreements)
+
+    def run(self) -> ShrinkResult | None:
+        stmt = parse(self.sql)
+        dataset = self.dataset
+        if not self._interesting(dataset, stmt):
+            return None  # not reproducible under the shrinker's settings
+
+        stmt = self._shrink_statement(dataset, stmt)
+        dataset = self._shrink_dataset(dataset, stmt)
+        stmt = self._shrink_statement(dataset, stmt)  # smaller data may unlock more
+
+        sql = unparse(stmt)
+        db = build_database(dataset)
+        return ShrinkResult(
+            sql=sql,
+            dataset=dataset,
+            checks=self.checks,
+            operators=operator_count(db, sql),
+            row_total=dataset.row_total(),
+        )
+
+    def _shrink_statement(self, dataset, stmt) -> ast.SelectStmt:
+        improved = True
+        while improved and self.checks < self.max_checks:
+            improved = False
+            for candidate in _stmt_reductions(stmt):
+                if self._interesting(dataset, candidate):
+                    stmt = candidate
+                    improved = True
+                    break
+        return stmt
+
+    def _shrink_dataset(self, dataset, stmt) -> Dataset:
+        used = {ref.table for ref in stmt.tables}
+        for name in list(dataset.tables):
+            if name in used or self.checks >= self.max_checks:
+                continue
+            candidate = dataset.copy()
+            del candidate.tables[name]
+            candidate.foreign_keys = [
+                fk for fk in candidate.foreign_keys
+                if fk.child != name and fk.parent != name
+            ]
+            if self._interesting(candidate, stmt):
+                dataset = candidate
+        for name in sorted(
+            used, key=lambda n: -len(dataset.tables[n].rows)
+        ):
+            dataset = self._ddmin_rows(dataset, stmt, name)
+        return dataset
+
+    def _ddmin_rows(self, dataset, stmt, name) -> Dataset:
+        rows = list(dataset.tables[name].rows)
+        granularity = 2
+
+        def with_rows(candidate_rows):
+            candidate = dataset.copy()
+            candidate.tables[name].rows = list(candidate_rows)
+            return candidate
+
+        # try the empty table first: many disagreements survive it
+        if rows and self.checks < self.max_checks:
+            candidate = with_rows([])
+            if self._interesting(candidate, stmt):
+                return candidate
+
+        while len(rows) >= 2 and self.checks < self.max_checks:
+            chunk = math.ceil(len(rows) / granularity)
+            reduced = False
+            for start in range(0, len(rows), chunk):
+                candidate_rows = rows[:start] + rows[start + chunk:]
+                if not candidate_rows:
+                    continue
+                if self._interesting(with_rows(candidate_rows), stmt):
+                    rows = candidate_rows
+                    granularity = max(2, granularity - 1)
+                    reduced = True
+                    break
+            if not reduced:
+                if granularity >= len(rows):
+                    break
+                granularity = min(len(rows), granularity * 2)
+        return with_rows(rows)

@@ -8,5 +8,15 @@ conjunctions, BETWEEN / IN / (NOT) LIKE / CASE, GROUP BY, ORDER BY, LIMIT.
 from repro.sql.lexer import Token, TokenKind, tokenize
 from repro.sql.parser import parse
 from repro.sql.binder import Binder, BoundQuery
+from repro.sql.unparse import unparse, unparse_expression
 
-__all__ = ["Binder", "BoundQuery", "Token", "TokenKind", "parse", "tokenize"]
+__all__ = [
+    "Binder",
+    "BoundQuery",
+    "Token",
+    "TokenKind",
+    "parse",
+    "tokenize",
+    "unparse",
+    "unparse_expression",
+]

@@ -1,0 +1,141 @@
+"""AST-to-SQL rendering: the inverse of :func:`repro.sql.parse`.
+
+The differential fuzzer's shrinker reduces queries *structurally* — it
+edits the AST, renders the candidate back to text, and re-runs the oracle
+on the result.  Rendering is therefore conservative: every compound
+subexpression is parenthesized, so the round trip ``parse(unparse(x))``
+preserves the tree shape regardless of operator precedence.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.sql import ast
+
+
+def _float_text(value: float) -> str:
+    # the lexer has no exponent notation; render in plain decimal
+    text = repr(value)
+    if "e" in text or "E" in text:
+        text = f"{value:.12f}".rstrip("0")
+        if text.endswith("."):
+            text += "0"
+    return text
+
+
+def _string_text(value: str) -> str:
+    return "'" + value.replace("'", "''") + "'"
+
+
+def _atom(node: ast.Node) -> str:
+    """Render a node, parenthesized unless it is self-delimiting."""
+    text = unparse_expression(node)
+    if isinstance(
+        node,
+        (ast.Identifier, ast.NumberLit, ast.StringLit, ast.DateLit,
+         ast.FuncCall, ast.Star, ast.ScalarSubquery, ast.Case),
+    ):
+        return text
+    return f"({text})"
+
+
+def unparse_expression(node: ast.Node) -> str:  # noqa: C901
+    if isinstance(node, ast.Identifier):
+        return str(node)
+    if isinstance(node, ast.NumberLit):
+        if isinstance(node.value, float):
+            return _float_text(node.value)
+        if node.value < 0:
+            return f"({node.value})"
+        return str(node.value)
+    if isinstance(node, ast.StringLit):
+        return _string_text(node.value)
+    if isinstance(node, ast.DateLit):
+        return f"date {_string_text(node.value)}"
+    if isinstance(node, ast.Star):
+        return "*"
+    if isinstance(node, ast.UnaryOp):
+        if node.op == "not":
+            return f"not {_atom(node.operand)}"
+        return f"-{_atom(node.operand)}"
+    if isinstance(node, ast.BinaryOp):
+        return f"{_atom(node.left)} {node.op} {_atom(node.right)}"
+    if isinstance(node, ast.FuncCall):
+        args = ", ".join(unparse_expression(a) for a in node.args)
+        return f"{node.name}({args})"
+    if isinstance(node, ast.Between):
+        word = "not between" if node.negated else "between"
+        return (
+            f"{_atom(node.operand)} {word} {_atom(node.low)} "
+            f"and {_atom(node.high)}"
+        )
+    if isinstance(node, ast.InList):
+        word = "not in" if node.negated else "in"
+        values = ", ".join(unparse_expression(v) for v in node.values)
+        return f"{_atom(node.operand)} {word} ({values})"
+    if isinstance(node, ast.Like):
+        word = "not like" if node.negated else "like"
+        return f"{_atom(node.operand)} {word} {_string_text(node.pattern)}"
+    if isinstance(node, ast.Case):
+        parts = ["case"]
+        for cond, value in node.whens:
+            parts.append(
+                f"when {unparse_expression(cond)} "
+                f"then {unparse_expression(value)}"
+            )
+        if node.default is not None:
+            parts.append(f"else {unparse_expression(node.default)}")
+        parts.append("end")
+        return " ".join(parts)
+    if isinstance(node, ast.ScalarSubquery):
+        return f"({unparse(node.subquery)})"
+    if isinstance(node, ast.Exists):
+        word = "not exists" if node.negated else "exists"
+        return f"{word} ({unparse(node.subquery)})"
+    if isinstance(node, ast.InSubquery):
+        word = "not in" if node.negated else "in"
+        return f"{_atom(node.operand)} {word} ({unparse(node.subquery)})"
+    raise SqlError(f"cannot unparse {type(node).__name__}")
+
+
+def unparse(stmt: ast.SelectStmt) -> str:
+    """Render a SELECT statement; ``parse(unparse(s))`` is shape-preserving."""
+    parts = ["select"]
+    if stmt.distinct:
+        parts.append("distinct")
+    items = []
+    for item in stmt.items:
+        text = unparse_expression(item.expr)
+        if item.alias:
+            text += f" as {item.alias}"
+        items.append(text)
+    parts.append(", ".join(items))
+    parts.append("from")
+    tables = []
+    for ref in stmt.tables:
+        if ref.subquery is not None:
+            tables.append(f"({unparse(ref.subquery)}) as {ref.alias}")
+        elif ref.alias != ref.table:
+            tables.append(f"{ref.table} as {ref.alias}")
+        else:
+            tables.append(ref.table)
+    parts.append(", ".join(tables))
+    if stmt.where is not None:
+        parts.append("where " + unparse_expression(stmt.where))
+    if stmt.group_by:
+        parts.append(
+            "group by " + ", ".join(unparse_expression(e) for e in stmt.group_by)
+        )
+    if stmt.having is not None:
+        parts.append("having " + unparse_expression(stmt.having))
+    if stmt.order_by:
+        keys = []
+        for order in stmt.order_by:
+            text = unparse_expression(order.expr)
+            if not order.ascending:
+                text += " desc"
+            keys.append(text)
+        parts.append("order by " + ", ".join(keys))
+    if stmt.limit is not None:
+        parts.append(f"limit {stmt.limit}")
+    return " ".join(parts)

@@ -135,3 +135,56 @@ def test_cli_dot_export(tmp_path):
     dot = dot_path.read_text()
     assert dot.startswith("digraph plan {")
     assert "scan lineitem" in dot
+
+
+def test_cli_pgo_fingerprint_filter(tmp_path):
+    from repro import Database
+
+    store_dir = tmp_path / "pgo"
+    db = Database.tpch(scale=0.0005, seed=42)
+    db.enable_pgo(str(store_dir))
+    db.profile("select count(*) n from nation", pgo=True)
+    code, text = run_cli([
+        "pgo", str(store_dir), "--fingerprint", "not-a-real-fingerprint",
+    ])
+    assert code == 1
+    assert "no feedback stored" in text
+
+
+def test_cli_fuzz_clean_run():
+    code, text = run_cli([
+        "fuzz", "--seed", "1", "--budget", "5", "--max-hints", "2",
+        "--no-pgo", "--quiet",
+    ])
+    assert code == 0
+    last = text.strip().splitlines()[-1]
+    assert "fuzz seed=1" in last
+    assert "ran 5 queries" in last
+    assert "0 disagreement(s)" in last
+
+
+def test_cli_fuzz_detects_injected_miscompile(tmp_path):
+    corpus = tmp_path / "corpus"
+    code, text = run_cli([
+        "fuzz", "--seed", "3", "--budget", "2", "--inject-miscompile",
+        "--no-pgo", "--max-hints", "0", "--corpus", str(corpus), "--quiet",
+    ])
+    assert code == 1
+    assert "disagreement" in text
+    assert "repro:" in text
+    assert list(corpus.glob("*.json"))
+
+
+def test_cli_fuzz_rejects_bad_budget():
+    code, text = run_cli(["fuzz", "--budget", "0"])
+    assert code == 2
+    assert "--budget" in text
+
+
+def test_cli_fuzz_progress_output():
+    code, text = run_cli([
+        "fuzz", "--seed", "2", "--budget", "1", "--no-pgo",
+        "--max-hints", "0", "--time-limit", "60",
+    ])
+    assert code == 0
+    assert "executor runs" in text

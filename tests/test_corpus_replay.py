@@ -1,0 +1,60 @@
+"""Replay every checked-in corpus case through all executor configs.
+
+Each JSON file under ``tests/corpus/`` is a self-contained repro — a
+dataset plus a query — originally either a hand-written edge case or a
+minimized fuzzer finding.  The differential oracle must find full
+agreement on all of them: compiled (1 and 4 workers), interpreted,
+unoptimized, groupjoin, join-order hints, and the PGO path.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_case, load_directory, replay_case
+from repro.errors import ReproError
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CASES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert CASES, f"no corpus cases found under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", CASES, ids=[p.stem for p in CASES]
+)
+def test_corpus_case_agrees_across_executors(path):
+    case = load_case(path)
+    result = replay_case(case)
+    assert not result.rejected, (
+        f"{case.name}: query no longer binds: {result.reject_reason}"
+    )
+    assert not result.disagreements, (
+        f"{case.name}: executors disagree: "
+        + "; ".join(
+            f"{d.config} ({d.reason})" for d in result.disagreements
+        )
+    )
+    # the oracle really did fan out: reference + parallel + interpreted +
+    # unoptimized + groupjoin + pgo at minimum
+    ran = [o for o in result.outcomes if o.kind != "skipped"]
+    assert len(ran) >= 5
+
+
+def test_load_directory_finds_all_cases():
+    cases = load_directory(CORPUS_DIR)
+    assert len(cases) == len(CASES)
+    assert all(c.sql and c.dataset.tables for c in cases)
+
+
+def test_load_case_rejects_malformed_documents(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"name\": \"x\"}")
+    with pytest.raises(ReproError, match="missing"):
+        load_case(bad)
+    not_json = tmp_path / "broken.json"
+    not_json.write_text("{nope")
+    with pytest.raises(ReproError, match="cannot load"):
+        load_case(not_json)
