@@ -83,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-rows", type=int, default=20, help="result rows to print"
     )
+    parser.add_argument(
+        "--no-fast-vm", action="store_true",
+        help="run on the block interpreter instead of the template-"
+             "translated fast VM (results and counters are identical; "
+             "this is a debugging/measurement knob)",
+    )
     return parser
 
 
@@ -104,6 +110,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _pgo_main(argv[1:], out)
     if argv and argv[0] == "fuzz":
         return _fuzz_main(argv[1:], out)
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:], out)
     args = build_parser().parse_args(argv)
     sql = resolve_sql(args)
     try:
@@ -124,13 +132,16 @@ def _run(args, sql: str, out) -> int:
         print(database.explain(sql), file=out)
         return 0
 
+    fast_vm = not args.no_fast_vm
     if not args.profile:
-        result = database.execute(sql, workers=args.workers)
+        result = database.execute(sql, workers=args.workers, fast_vm=fast_vm)
         _print_result(result, args.max_rows, out)
         return 0
 
     config = ProfilerConfig(mode=ProfilingMode(args.mode), period=args.period)
-    profile = database.profile(sql, config, workers=args.workers)
+    profile = database.profile(
+        sql, config, workers=args.workers, fast_vm=fast_vm
+    )
     _print_result(profile.result, args.max_rows, out)
     print(file=out)
     print(profile.annotated_plan(), file=out)
@@ -248,10 +259,12 @@ def _fuzz_main(argv: list[str], out) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro fuzz",
         description="Differentially fuzz the engine: generated queries run "
-                    "through every executor (compiled, parallel, "
-                    "interpreted, unoptimized, groupjoin, join-order hints, "
-                    "PGO) and must agree; disagreements are minimized and "
-                    "written out as replayable corpus cases.",
+                    "through every executor (compiled fast-VM, parallel, "
+                    "block interpreter, reference interpreter, unoptimized, "
+                    "groupjoin, join-order hints, PGO) and must agree — "
+                    "including bit-exact fast-VM counters and PMU sample "
+                    "streams; disagreements are minimized and written out "
+                    "as replayable corpus cases.",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="master seed (default 0)"
@@ -281,6 +294,11 @@ def _fuzz_main(argv: list[str], out) -> int:
         help="skip the profile-guided-optimization executor configs",
     )
     parser.add_argument(
+        "--no-vm-parity", action="store_true",
+        help="skip the fast-VM bit-exactness check (counter and PMU "
+             "sample-stream comparison against the block interpreter)",
+    )
+    parser.add_argument(
         "--no-shrink", action="store_true",
         help="report failures without minimizing them",
     )
@@ -307,6 +325,7 @@ def _fuzz_main(argv: list[str], out) -> int:
         max_hints=args.max_hints,
         rotate_every=args.rotate_every,
         check_pgo=not args.no_pgo,
+        check_vm_parity=not args.no_vm_parity,
         inject_fault="invert-first-cmpeq" if args.inject_miscompile else None,
         time_limit=args.time_limit,
         corpus_dir=args.corpus,
@@ -326,6 +345,68 @@ def _fuzz_main(argv: list[str], out) -> int:
         if failure.corpus_path:
             print(f"    repro: {failure.corpus_path}", file=out)
     return 0 if report.ok else 1
+
+
+def _bench_main(argv: list[str], out) -> int:
+    """``python -m repro bench --vm``: engine micro-benchmarks."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Benchmark the execution engine.  --vm times every "
+                    "selected TPC-H query on the template-translated fast "
+                    "VM and on the block interpreter (same compiled "
+                    "program, best-of-N wall time, parity asserted) and "
+                    "reports per-query and geometric-mean speedups.",
+    )
+    parser.add_argument(
+        "--vm", action="store_true",
+        help="fast-VM vs interpreter speed comparison",
+    )
+    parser.add_argument(
+        "--queries", default=None,
+        help="comma-separated TPC-H query names (default: the "
+             "representative vmbench subset; 'all' for q1..q22)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.001,
+        help="TPC-H scale factor (default 0.001)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N timing runs per engine (default 3)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="append the run record to this trajectory file "
+             "(e.g. BENCH_vm.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.vm:
+        print("nothing to benchmark: pass --vm", file=out)
+        return 2
+
+    from repro.data.queries import ALL_QUERIES
+    from repro.vmbench import append_trajectory, run_vm_bench
+
+    queries = None
+    if args.queries == "all":
+        queries = sorted(ALL_QUERIES, key=lambda n: int(n[1:]))
+    elif args.queries:
+        queries = [name.strip() for name in args.queries.split(",")]
+        unknown = [name for name in queries if name not in ALL_QUERIES]
+        if unknown:
+            print(f"unknown queries: {', '.join(unknown)}", file=out)
+            return 2
+
+    record = run_vm_bench(
+        queries=queries, scale=args.scale, seed=args.seed,
+        repeats=args.repeats, log=lambda message: print(message, file=out),
+    )
+    if args.json:
+        append_trajectory(record, args.json)
+        print(f"trajectory appended to {args.json}", file=out)
+    return 0
 
 
 def _print_result(result, max_rows: int, out) -> None:

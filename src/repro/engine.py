@@ -471,6 +471,7 @@ class Database:
         morsel_size: int = 1024,
         repeats: int = 1,
         instruction_limit: int | None = None,
+        fast_vm: bool = True,
     ):
         """Run a compiled query; returns ``(machines, rows, task_counts)``.
 
@@ -490,7 +491,7 @@ class Database:
             machines = [
                 Machine(
                     compiled.program, self.memory, pmu_config=pmu,
-                    kernel=compiled.kernel,
+                    kernel=compiled.kernel, fast_vm=fast_vm,
                 )
                 for _ in range(workers)
             ]
@@ -539,6 +540,7 @@ class Database:
         count_tuples: bool = False,
         inject_fault: str | None = None,
         instruction_limit: int | None = None,
+        fast_vm: bool = True,
     ):
         """One-shot compile + run + full memory release (the non-cached
         path); returns ``(compiled, machines, rows, task_counts)``."""
@@ -552,7 +554,7 @@ class Database:
             )
             machines, rows, task_counts = self._run_compiled(
                 compiled, profiler, workers, morsel_size, repeats,
-                instruction_limit=instruction_limit,
+                instruction_limit=instruction_limit, fast_vm=fast_vm,
             )
             return compiled, machines, rows, task_counts
         finally:
@@ -671,6 +673,7 @@ class Database:
         morsel_size: int = 1024,
         inject_fault: str | None = None,
         instruction_limit: int | None = None,
+        fast_vm: bool = True,
     ) -> QueryResult:
         """Compile and run a query; returns decoded rows.
 
@@ -685,18 +688,24 @@ class Database:
         fingerprint until fresher feedback arrives.  ``inject_fault``
         deliberately miscompiles the query (fuzzer ground truth) and
         ``instruction_limit`` bounds each worker's instruction count —
-        both are testing knobs, never set in normal operation."""
+        both are testing knobs, never set in normal operation.
+        ``fast_vm=False`` forces the block interpreter; faults are always
+        executed interpreted so the injected miscompile is observed
+        instruction-by-instruction."""
         if pgo:
             if inject_fault is not None:
                 raise ReproError("inject_fault is not supported with pgo=True")
             return self._execute_pgo(
                 sql, join_order_hint, planner_options, workers,
-                optimize_backend, morsel_size=morsel_size,
+                optimize_backend, morsel_size=morsel_size, fast_vm=fast_vm,
             )
+        if inject_fault is not None:
+            fast_vm = False
         compiled, machines, rows, _ = self._compile_and_run(
             sql, None, join_order_hint, planner_options, workers=workers,
             morsel_size=morsel_size, optimize_backend=optimize_backend,
             inject_fault=inject_fault, instruction_limit=instruction_limit,
+            fast_vm=fast_vm,
         )
         return self._result(compiled.physical, machines, rows)
 
@@ -728,7 +737,7 @@ class Database:
 
     def _execute_pgo(
         self, sql, join_order_hint, planner_options, workers,
-        optimize_backend, morsel_size: int = 1024,
+        optimize_backend, morsel_size: int = 1024, fast_vm: bool = True,
     ) -> QueryResult:
         from repro.pgo.fingerprint import fingerprint
 
@@ -755,7 +764,8 @@ class Database:
         else:
             self.plan_cache_hits += 1
         machines, rows, _ = self._run_compiled(
-            cached.compiled, None, workers=workers, morsel_size=morsel_size
+            cached.compiled, None, workers=workers, morsel_size=morsel_size,
+            fast_vm=fast_vm,
         )
         return self._result(cached.compiled.physical, machines, rows)
 
@@ -800,6 +810,7 @@ class Database:
         workers: int = 1,
         repeats: int = 1,
         pgo: bool = False,
+        fast_vm: bool = True,
     ) -> Profile:
         """Run a query with the PMU armed; returns a Profile for reports.
 
@@ -822,7 +833,7 @@ class Database:
         compiled, machines, rows, task_counts = self._compile_and_run(
             sql, config, join_order_hint, planner_options, workers=workers,
             repeats=repeats, feedback=feedback,
-            count_tuples=config.count_tuples,
+            count_tuples=config.count_tuples, fast_vm=fast_vm,
         )
         profile = self._build_profile(
             config, compiled, machines, rows, task_counts
@@ -833,13 +844,16 @@ class Database:
 
     # -- prebuilt-plan entry points (for non-SQL frontends) -----------------
 
-    def execute_plan(self, bound, physical, workers: int = 1) -> QueryResult:
+    def execute_plan(
+        self, bound, physical, workers: int = 1, fast_vm: bool = True
+    ) -> QueryResult:
         """Run a plan built by a non-SQL frontend (e.g. the streaming DSL).
 
         ``bound`` must expose ``.plan`` (the logical root) and ``.model``
         (a CardinalityModel); ``physical`` is the physical root."""
         _, machines, rows, _ = self._compile_and_run(
-            "", None, prebuilt=(bound, physical), workers=workers
+            "", None, prebuilt=(bound, physical), workers=workers,
+            fast_vm=fast_vm,
         )
         return self._result(physical, machines, rows)
 
@@ -850,12 +864,14 @@ class Database:
         config: ProfilerConfig | None = None,
         workers: int = 1,
         repeats: int = 1,
+        fast_vm: bool = True,
     ) -> Profile:
         """Profile a plan built by a non-SQL frontend."""
         config = config or ProfilerConfig()
         compiled, machines, rows, task_counts = self._compile_and_run(
             "", config, prebuilt=(bound, physical), workers=workers,
             repeats=repeats, count_tuples=config.count_tuples,
+            fast_vm=fast_vm,
         )
         return self._build_profile(
             config, compiled, machines, rows, task_counts

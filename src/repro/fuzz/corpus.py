@@ -55,12 +55,14 @@ def load_directory(directory: str | Path) -> list[CorpusCase]:
 
 
 def replay_case(
-    case: CorpusCase, *, max_hints: int = 4, check_pgo: bool = True
+    case: CorpusCase, *, max_hints: int = 4, check_pgo: bool = True,
+    check_vm_parity: bool = True,
 ) -> CheckResult:
     """Rebuild the case's database and run the oracle on its query."""
     db = build_database(case.dataset)
     oracle = DifferentialOracle(
-        db, max_hints=max_hints, check_pgo=check_pgo
+        db, max_hints=max_hints, check_pgo=check_pgo,
+        check_vm_parity=check_vm_parity,
     )
     stmt = parse(case.sql)
     return oracle.check(

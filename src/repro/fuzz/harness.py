@@ -86,6 +86,7 @@ def run_fuzz(
     max_hints: int = 4,
     rotate_every: int = 25,
     check_pgo: bool = True,
+    check_vm_parity: bool = True,
     inject_fault: str | None = None,
     time_limit: float | None = None,
     corpus_dir: str | Path | None = None,
@@ -114,6 +115,7 @@ def run_fuzz(
             report.datasets += 1
         oracle = DifferentialOracle(
             db, max_hints=max_hints, check_pgo=check_pgo,
+            check_vm_parity=check_vm_parity,
             inject_fault=inject_fault,
         )
 
@@ -152,6 +154,11 @@ def run_fuzz(
                     dataset, query.sql,
                     max_hints=min(max_hints, 2),
                     check_pgo=False,
+                    # only pay for profiled shrink runs when the
+                    # disagreement is itself a fast-VM parity break
+                    check_vm_parity=any(
+                        c.startswith("vm-parity") for c in failure.configs
+                    ),
                     inject_fault=inject_fault,
                 ).run()
                 if shrunk is not None:

@@ -1,9 +1,11 @@
 """Multi-executor differential oracle.
 
-One query, many executors: the compiled backend single- and multi-worker,
-the reference interpreter, the unoptimized backend, groupjoin fusion,
-join-order-hint permutations, and the PGO path (profile, cold execute,
-warm plan-cache execute).  All of them must agree on the result bag —
+One query, many executors: the compiled backend single- and multi-worker
+(on the template-translated fast VM), the same program on the block
+interpreter (``fast_vm=False``), the reference interpreter, the
+unoptimized backend, groupjoin fusion, join-order-hint permutations, and
+the PGO path (profile, cold execute, warm plan-cache execute).  All of
+them must agree on the result bag —
 with ordered-prefix semantics when the query carries ORDER BY, and
 relative float tolerance for aggregate arithmetic whose evaluation order
 legitimately differs across executors (morsel-parallel partial sums).
@@ -12,6 +14,12 @@ Frontend rejections (bind or plan errors on the reference path) mean the
 query is uninteresting, not wrong; consistent *runtime* errors across all
 executors count as agreement.  A config whose plan is impossible (a
 disconnected join-order hint) is skipped, never compared.
+
+Beyond result bags, the oracle holds the fast VM to a stronger contract:
+with the PMU armed, the translated engine must reproduce the interpreter's
+machine state bit-for-bit — instruction/cycle/load/store counters, cache
+and branch-predictor statistics, and the full PMU sample stream (ip, tsc,
+branch_taken, memaddr per sample).  Any divergence is a disagreement.
 """
 
 from __future__ import annotations
@@ -140,12 +148,14 @@ class DifferentialOracle:
         *,
         max_hints: int = 4,
         check_pgo: bool = True,
+        check_vm_parity: bool = True,
         inject_fault: str | None = None,
         instruction_limit: int = INSTRUCTION_LIMIT,
     ):
         self.db = db
         self.max_hints = max_hints
         self.check_pgo = check_pgo
+        self.check_vm_parity = check_vm_parity
         # when set, the named fault is injected into the *reference*
         # compile — every healthy executor should then catch the damage
         self.inject_fault = inject_fault
@@ -185,6 +195,13 @@ class DifferentialOracle:
                 ),
             ),
             ("interpreted", lambda: db.execute_interpreted(sql)),
+            (
+                "compiled-novm",
+                lambda: db.execute(
+                    sql, fast_vm=False,
+                    inject_fault=fault, instruction_limit=limit,
+                ),
+            ),
             (
                 "unoptimized",
                 lambda: db.execute(
@@ -232,6 +249,59 @@ class DifferentialOracle:
         finally:
             db.pgo_store = saved_store
             db._plan_cache.clear()
+
+    def _vm_signature(self, sql: str, fast_vm: bool) -> Outcome:
+        """Profile once and fold the complete machine state into rows.
+
+        The "rows" of this outcome are the counter tuple followed by every
+        PMU sample, so the generic bag comparison would be useless — the
+        caller compares signatures for exact equality instead."""
+        from repro.engine import ProfilerConfig
+
+        config = "vm-parity[fast]" if fast_vm else "vm-parity[interp]"
+        try:
+            profile = self.db.profile(
+                sql, config=ProfilerConfig(record_memaddr=True),
+                fast_vm=fast_vm,
+            )
+        except PlanError as exc:
+            return Outcome(config, "error", error=f"PlanError: {exc}")
+        except Exception as exc:  # noqa: BLE001 - compared against twin
+            return Outcome(config, "error", error=f"{type(exc).__name__}: {exc}")
+        machine = profile.machine
+        state = machine.state
+        signature = [(
+            "counters", state.instructions, state.cycles,
+            state.loads, state.stores,
+            machine.caches.accesses, machine.caches.l1_misses,
+            machine.predictor.branches, machine.predictor.mispredicts,
+        )]
+        signature.extend(
+            (s.ip, s.tsc, s.branch_taken, s.memaddr)
+            for s in machine.samples.samples
+        )
+        return Outcome(config, "rows", rows=signature)
+
+    def _vm_parity(self, sql: str) -> list[Disagreement]:
+        """The fast VM must be bit-identical to the interpreter under an
+        armed PMU: counters, cache/predictor state, and sample streams."""
+        fast = self._vm_signature(sql, fast_vm=True)
+        slow = self._vm_signature(sql, fast_vm=False)
+        if fast.kind != slow.kind:
+            return [Disagreement(
+                fast.config, slow, fast,
+                reason=f"interpreter {slow.kind} vs fast VM {fast.kind}",
+            )]
+        if fast.kind == "error" and fast.error != slow.error:
+            return [Disagreement(
+                fast.config, slow, fast, reason="error text differs",
+            )]
+        if fast.kind == "rows" and fast.rows != slow.rows:
+            return [Disagreement(
+                fast.config, slow, fast,
+                reason="machine counters or PMU sample stream differ",
+            )]
+        return []
 
     # -- comparison ----------------------------------------------------------
 
@@ -285,6 +355,9 @@ class DifferentialOracle:
                         outcome.config, reference, outcome,
                         reason="ORDER BY violated",
                     ))
+
+        if self.check_vm_parity and self.inject_fault is None:
+            result.disagreements.extend(self._vm_parity(sql))
         return result
 
 

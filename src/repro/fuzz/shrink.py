@@ -268,6 +268,7 @@ class Shrinker:
         *,
         max_hints: int = 2,
         check_pgo: bool = False,
+        check_vm_parity: bool = False,
         inject_fault: str | None = None,
         max_checks: int = 400,
     ):
@@ -275,6 +276,7 @@ class Shrinker:
         self.sql = sql
         self.max_hints = max_hints
         self.check_pgo = check_pgo
+        self.check_vm_parity = check_vm_parity
         self.inject_fault = inject_fault
         self.max_checks = max_checks
         self.checks = 0
@@ -291,6 +293,7 @@ class Shrinker:
             db,
             max_hints=self.max_hints,
             check_pgo=self.check_pgo,
+            check_vm_parity=self.check_vm_parity,
             inject_fault=self.inject_fault,
         )
         result = oracle.check(

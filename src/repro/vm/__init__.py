@@ -8,6 +8,7 @@ profiles on.  It provides:
 - :mod:`repro.vm.cache` — a set-associative cache hierarchy for load costs,
 - :mod:`repro.vm.branch` — a 2-bit branch predictor,
 - :mod:`repro.vm.machine` — the interpreter with cycle accounting,
+- :mod:`repro.vm.translate` — basic-block translation for the fast engine,
 - :mod:`repro.vm.pmu` — the PEBS-like sampling unit,
 - :mod:`repro.vm.kernel` — "syscalls" executing in a kernel code region,
 - :mod:`repro.vm.costs` — every calibration constant in one place.
@@ -18,6 +19,7 @@ from repro.vm.kernel import Kernel
 from repro.vm.machine import Machine, MachineState
 from repro.vm.memory import Memory
 from repro.vm.pmu import Event, PmuConfig, Sample, SampleBuffer
+from repro.vm.translate import Translation, translate_program, translation_for
 
 __all__ = [
     "CodeRegion",
@@ -32,4 +34,7 @@ __all__ = [
     "Program",
     "Sample",
     "SampleBuffer",
+    "Translation",
+    "translate_program",
+    "translation_for",
 ]

@@ -63,6 +63,22 @@ class CacheHierarchy:
         self.l2_misses += 1
         return costs.LAT_MEM
 
+    def access_uncounted(self, addr: int) -> int:
+        """:meth:`access` without the ``accesses`` bump.
+
+        The fast VM inlines the L1 MRU-hit path into translated blocks and
+        batches the ``accesses`` counter per block; only non-MRU accesses
+        come through here, so the bump must not be repeated.
+        """
+        line = addr >> self._line_bits
+        if self.l1.access(line):
+            return costs.LAT_L1
+        self.l1_misses += 1
+        if self.l2.access(line):
+            return costs.LAT_L2
+        self.l2_misses += 1
+        return costs.LAT_MEM
+
     def flush(self) -> None:
         self.l1.flush()
         self.l2.flush()

@@ -22,7 +22,14 @@ CYCLES_BRANCH = 1
 CYCLES_BRANCH_MISS = 14  # mispredict penalty
 CYCLES_CALL = 2
 CYCLES_RET = 2
-CYCLES_STORE = 1  # store buffer hides latency; cache state still updated
+# Stores retire at a fixed cost: a store buffer absorbs the write, so the
+# retiring instruction never waits for the cache hierarchy (write-allocate
+# still *updates* cache state — the interpreter and the fast VM both call
+# ``caches.access`` on the store path and deliberately discard the returned
+# latency).  Loads, by contrast, pay the returned hit-level latency because
+# the dependent instruction needs the value.  Covered by
+# ``test_store_cost_is_fixed_but_allocates`` in tests/test_vm_machine.py.
+CYCLES_STORE = 1
 
 # --- memory hierarchy ---------------------------------------------------
 
@@ -56,6 +63,22 @@ KERNEL_CALL_BASE = 90  # trap + dispatch
 KERNEL_ALLOC_PER_KB = 4  # page-zeroing style per-KiB cost
 KERNEL_SORT_PER_ELEM = 9  # comparison sort amortized per n*log(n) step
 KERNEL_OUTPUT_PER_VALUE = 5  # copying a result value to the client
+
+# --- fast VM (template-translated basic blocks) --------------------------
+#
+# The translated engine retires whole basic blocks at a time and pays the
+# PMU countdown in block-sized chunks; a block only runs fast when the
+# countdown exceeds the block's worst-case event bound, otherwise the
+# interpreter finishes the sampling window exactly.  Below this period the
+# bounds reject nearly every block and the per-block checks are pure
+# overhead, so the fast engine disarms itself entirely.
+
+FAST_VM_MIN_PERIOD = 128
+FAST_VM_MAX_BLOCK = 48  # cap so worst-case block bounds stay << period
+# With the PMU unarmed there is no countdown to protect, so unarmed
+# translations may grow much longer traces — fewer driver transitions on
+# hot loops (the instruction-budget check stays conservative either way)
+FAST_VM_MAX_BLOCK_PLAIN = 512
 
 # --- sampling defaults (the paper's experimental setup) ------------------
 

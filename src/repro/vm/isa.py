@@ -100,6 +100,39 @@ _BINOPS_IMM = {
 }
 BRANCH_OPS = {Opcode.JMP, Opcode.BRZ, Opcode.BRNZ}
 COND_BRANCH_OPS = {Opcode.BRZ, Opcode.BRNZ}
+# Ops after which straight-line decoding must stop: control leaves the
+# block (branches, calls, returns) or re-enters the host (kernel calls).
+TERMINATOR_OPS = {
+    Opcode.JMP, Opcode.BRZ, Opcode.BRNZ,
+    Opcode.CALL, Opcode.RET, Opcode.KCALL, Opcode.HALT,
+}
+
+
+def block_leaders(program: "Program") -> set[int]:
+    """IPs where a basic block can begin (the translator's decode step).
+
+    Leaders are function entries, the program entry, branch and call
+    targets, and every fall-through successor of a control transfer —
+    the classic two-pass basic-block decoding.  Out-of-range targets are
+    dropped; executing them still faults through the interpreter path.
+    """
+    code = program.code
+    leaders = {program.entry}
+    for info in program.functions:
+        leaders.add(info.start)
+    for ip, ins in enumerate(code):
+        op = ins[0]
+        if op == Opcode.JMP:
+            leaders.add(ins[1])
+        elif op == Opcode.BRZ or op == Opcode.BRNZ:
+            leaders.add(ins[2])
+            leaders.add(ip + 1)
+        elif op == Opcode.CALL:
+            leaders.add(ins[1])
+            leaders.add(ip + 1)
+        elif op == Opcode.KCALL or op == Opcode.RET or op == Opcode.HALT:
+            leaders.add(ip + 1)
+    return {ip for ip in leaders if 0 <= ip < len(code)}
 
 
 class CodeRegion(enum.Enum):

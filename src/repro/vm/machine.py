@@ -80,6 +80,7 @@ class Machine:
         memory: Memory,
         pmu_config: PmuConfig | None = None,
         kernel=None,
+        fast_vm: bool = True,
     ):
         self.program = program
         self.memory = memory
@@ -95,6 +96,19 @@ class Machine:
         self._countdown = pmu_config.period if pmu_config else 0
         self._jitter = 0x5DEECE66D  # deterministic LCG state
         self._external_ip_rotor = 0
+        # Fast mode runs template-translated basic blocks (repro.vm.translate)
+        # and falls back to the interpreter whenever a block-sized countdown
+        # step could cross a sample boundary.  Below FAST_VM_MIN_PERIOD the
+        # fallback would dominate, so the fast engine disarms itself and
+        # every instruction runs interpreted.
+        self._fast_blocks = None
+        if fast_vm and (
+            pmu_config is None or pmu_config.period >= costs.FAST_VM_MIN_PERIOD
+        ):
+            from repro.vm.translate import translation_for
+
+            event = pmu_config.event if pmu_config is not None else None
+            self._fast_blocks = translation_for(program, event).blocks
         stack_base = memory.alloc(STACK_BYTES, "stack")
         self.stack_base = stack_base
         self.stack_end = stack_base + STACK_BYTES
@@ -188,10 +202,69 @@ class Machine:
         regs = self.regs
         for i, value in enumerate(args):
             regs[i] = value
-        self._run(entry_ip)
+        if self._fast_blocks is not None:
+            self._run_fast(entry_ip)
+        else:
+            self._run(entry_ip)
         return regs[0]
 
-    def _run(self, entry_ip: int) -> None:  # noqa: C901 - interpreter core
+    def _run(self, entry_ip: int) -> None:
+        """Pure interpretation, one instruction at a time."""
+        self.call_stack.append(-1)
+        self._interp(entry_ip, None)
+
+    def _run_fast(self, entry_ip: int) -> None:
+        """Dual-mode driver: translated blocks plus interpreter fallback.
+
+        A translated block only runs when neither a PMU sample nor an
+        instruction-budget fault could fall due inside it: the live
+        countdown must strictly exceed the block's worst-case event bound
+        (``b[2]``), and the budget must cover the whole block.  When the
+        check fails, ``_interp`` takes over instruction-by-instruction for
+        the rest of the sampling window and suspends at the next block
+        leader that passes the same check — so sample streams, counters,
+        and VMError behavior are bit-identical to pure interpretation.
+        """
+        blocks = self._fast_blocks
+        self.call_stack.append(-1)
+        regs = self.regs
+        words = self.memory.words
+        state = self.state
+        caches = self.caches
+        predictor = self.predictor
+        get = blocks.get
+        config = self.pmu_config
+        interp = self._interp
+        ip = entry_ip
+        if config is None:
+            max_instructions = state.max_instructions
+            while ip >= 0:
+                b = get(ip)
+                if b is not None and state.instructions + b[1] <= max_instructions:
+                    ip = b[0](self, regs, words, state, caches, predictor)
+                else:
+                    ip = interp(ip, blocks)
+        else:
+            while ip >= 0:
+                b = get(ip)
+                if (
+                    b is not None
+                    and self._countdown > b[2]
+                    and state.instructions + b[1] <= state.max_instructions
+                ):
+                    ip = b[0](self, regs, words, state, caches, predictor)
+                else:
+                    ip = interp(ip, blocks)
+
+    def _interp(self, entry_ip: int, blocks) -> int:  # noqa: C901 - interpreter core
+        """Interpret from ``entry_ip``; return -1 once the run completes.
+
+        In fast mode ``blocks`` is the translation map: the loop suspends
+        and returns the current ip as soon as it stands on a translated
+        block that is safe to run fast again (same condition as the
+        ``_run_fast`` driver, checked *before* executing, so the two
+        engines can never livelock handing the same ip back and forth).
+        """
         code = self.program.code
         words = self.memory.words
         regs = self.regs
@@ -204,20 +277,53 @@ class Machine:
         sample_on_loads = config is not None and config.event is Event.LOADS
         sample_on_l1 = config is not None and config.event is Event.L1_MISS
         sample_on_brmiss = config is not None and config.event is Event.BRANCH_MISS
+        has_blocks = blocks is not None
+        blocks_get = blocks.get if has_blocks else None
 
-        self.call_stack.append(-1)
         ip = entry_ip
         cycles = state.cycles
         instructions = state.instructions
         max_instructions = state.max_instructions
-        op_names = Opcode  # local alias
+        # Opcode members hoisted to plain-int locals: LOAD_FAST in the
+        # dispatch chain beats a class-attribute lookup per comparison.
+        _NOP, _MOV, _MOVI, _LOAD, _STORE = (
+            Opcode.NOP, Opcode.MOV, Opcode.MOVI, Opcode.LOAD, Opcode.STORE)
+        _ADD, _SUB, _MUL, _SDIV, _SREM = (
+            Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.SDIV, Opcode.SREM)
+        _AND, _OR, _XOR, _SHL, _SHR, _ROTR = (
+            Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+            Opcode.ROTR)
+        _ADDI, _MULI, _ANDI, _SHLI, _SHRI, _XORI = (
+            Opcode.ADDI, Opcode.MULI, Opcode.ANDI, Opcode.SHLI, Opcode.SHRI,
+            Opcode.XORI)
+        _CMPEQ, _CMPNE, _CMPLT, _CMPLE, _CMPGT, _CMPGE = (
+            Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPLT, Opcode.CMPLE,
+            Opcode.CMPGT, Opcode.CMPGE)
+        _CMPEQI, _CMPNEI, _CMPLTI, _CMPLEI, _CMPGTI, _CMPGEI = (
+            Opcode.CMPEQI, Opcode.CMPNEI, Opcode.CMPLTI, Opcode.CMPLEI,
+            Opcode.CMPGTI, Opcode.CMPGEI)
+        _FDIV, _CVTIF, _CVTFI, _CRC32, _SELECT, _MIN, _MAX = (
+            Opcode.FDIV, Opcode.CVTIF, Opcode.CVTFI, Opcode.CRC32,
+            Opcode.SELECT, Opcode.MIN, Opcode.MAX)
+        _JMP, _BRZ, _BRNZ, _CALL, _RET, _KCALL, _HALT = (
+            Opcode.JMP, Opcode.BRZ, Opcode.BRNZ, Opcode.CALL, Opcode.RET,
+            Opcode.KCALL, Opcode.HALT)
 
         while True:
+            if has_blocks:
+                blk = blocks_get(ip)
+                if (
+                    blk is not None
+                    and instructions + blk[1] <= max_instructions
+                    and (config is None or self._countdown > blk[2])
+                ):
+                    state.cycles, state.instructions = cycles, instructions
+                    return ip
             try:
-                ins = code[ip]
+                op, f1, f2, f3 = code[ip]
             except IndexError:
+                state.cycles, state.instructions = cycles, instructions
                 raise VMError("instruction fetch out of bounds", ip) from None
-            op = ins[0]
             instructions += 1
             if instructions > max_instructions:
                 state.cycles, state.instructions = cycles, instructions
@@ -225,14 +331,14 @@ class Machine:
             cost = 1
             memaddr = None
 
-            if op == op_names.LOAD:
-                addr = regs[ins[2]] + ins[3]
+            if op == _LOAD:
+                addr = regs[f2] + f3
                 memaddr = addr
                 if addr & 7 or addr < 8:
                     state.cycles, state.instructions = cycles, instructions
                     raise VMError(f"unaligned or null load at {addr:#x}", ip)
                 try:
-                    regs[ins[1]] = words[addr >> 3]
+                    regs[f1] = words[addr >> 3]
                 except IndexError:
                     state.cycles, state.instructions = cycles, instructions
                     raise VMError(f"load out of bounds at {addr:#x}", ip) from None
@@ -242,54 +348,54 @@ class Machine:
                     self._countdown -= 1
                 elif sample_on_l1 and cost > costs.LAT_L1:
                     self._countdown -= 1
-            elif op == op_names.STORE:
-                addr = regs[ins[1]] + ins[3]
+            elif op == _STORE:
+                addr = regs[f1] + f3
                 memaddr = addr
                 if addr & 7 or addr < 8:
                     state.cycles, state.instructions = cycles, instructions
                     raise VMError(f"unaligned or null store at {addr:#x}", ip)
                 try:
-                    words[addr >> 3] = regs[ins[2]]
+                    words[addr >> 3] = regs[f2]
                 except IndexError:
                     state.cycles, state.instructions = cycles, instructions
                     raise VMError(f"store out of bounds at {addr:#x}", ip) from None
                 caches.access(addr)
                 state.stores += 1
                 cost = costs.CYCLES_STORE
-            elif op == op_names.ADDI:
-                regs[ins[1]] = regs[ins[2]] + ins[3]
-            elif op == op_names.ADD:
-                regs[ins[1]] = regs[ins[2]] + regs[ins[3]]
-            elif op == op_names.MOV:
-                regs[ins[1]] = regs[ins[2]]
-            elif op == op_names.MOVI:
-                regs[ins[1]] = ins[2]
-            elif op == op_names.CMPEQ:
-                regs[ins[1]] = 1 if regs[ins[2]] == regs[ins[3]] else 0
-            elif op == op_names.CMPNE:
-                regs[ins[1]] = 1 if regs[ins[2]] != regs[ins[3]] else 0
-            elif op == op_names.CMPLT:
-                regs[ins[1]] = 1 if regs[ins[2]] < regs[ins[3]] else 0
-            elif op == op_names.CMPLE:
-                regs[ins[1]] = 1 if regs[ins[2]] <= regs[ins[3]] else 0
-            elif op == op_names.CMPGT:
-                regs[ins[1]] = 1 if regs[ins[2]] > regs[ins[3]] else 0
-            elif op == op_names.CMPGE:
-                regs[ins[1]] = 1 if regs[ins[2]] >= regs[ins[3]] else 0
-            elif op == op_names.CMPEQI:
-                regs[ins[1]] = 1 if regs[ins[2]] == ins[3] else 0
-            elif op == op_names.CMPNEI:
-                regs[ins[1]] = 1 if regs[ins[2]] != ins[3] else 0
-            elif op == op_names.CMPLTI:
-                regs[ins[1]] = 1 if regs[ins[2]] < ins[3] else 0
-            elif op == op_names.CMPLEI:
-                regs[ins[1]] = 1 if regs[ins[2]] <= ins[3] else 0
-            elif op == op_names.CMPGTI:
-                regs[ins[1]] = 1 if regs[ins[2]] > ins[3] else 0
-            elif op == op_names.CMPGEI:
-                regs[ins[1]] = 1 if regs[ins[2]] >= ins[3] else 0
-            elif op == op_names.BRZ:
-                cond_true = regs[ins[1]] != 0
+            elif op == _ADDI:
+                regs[f1] = regs[f2] + f3
+            elif op == _ADD:
+                regs[f1] = regs[f2] + regs[f3]
+            elif op == _MOV:
+                regs[f1] = regs[f2]
+            elif op == _MOVI:
+                regs[f1] = f2
+            elif op == _CMPEQ:
+                regs[f1] = 1 if regs[f2] == regs[f3] else 0
+            elif op == _CMPNE:
+                regs[f1] = 1 if regs[f2] != regs[f3] else 0
+            elif op == _CMPLT:
+                regs[f1] = 1 if regs[f2] < regs[f3] else 0
+            elif op == _CMPLE:
+                regs[f1] = 1 if regs[f2] <= regs[f3] else 0
+            elif op == _CMPGT:
+                regs[f1] = 1 if regs[f2] > regs[f3] else 0
+            elif op == _CMPGE:
+                regs[f1] = 1 if regs[f2] >= regs[f3] else 0
+            elif op == _CMPEQI:
+                regs[f1] = 1 if regs[f2] == f3 else 0
+            elif op == _CMPNEI:
+                regs[f1] = 1 if regs[f2] != f3 else 0
+            elif op == _CMPLTI:
+                regs[f1] = 1 if regs[f2] < f3 else 0
+            elif op == _CMPLEI:
+                regs[f1] = 1 if regs[f2] <= f3 else 0
+            elif op == _CMPGTI:
+                regs[f1] = 1 if regs[f2] > f3 else 0
+            elif op == _CMPGEI:
+                regs[f1] = 1 if regs[f2] >= f3 else 0
+            elif op == _BRZ:
+                cond_true = regs[f1] != 0
                 taken = not cond_true
                 miss = predictor.record(ip, taken)
                 cost = costs.CYCLES_BRANCH + (costs.CYCLES_BRANCH_MISS if miss else 0)
@@ -305,7 +411,7 @@ class Machine:
                         state.cycles, state.instructions = cycles, instructions
                         self._take_sample(ip, None, branch=cond_true)
                         cycles, instructions = state.cycles, state.instructions
-                    ip = ins[2]
+                    ip = f2
                     continue
                 cycles += cost
                 ip += 1
@@ -318,8 +424,8 @@ class Machine:
                     self._take_sample(ip - 1, None, branch=cond_true)
                     cycles, instructions = state.cycles, state.instructions
                 continue
-            elif op == op_names.BRNZ:
-                taken = regs[ins[1]] != 0
+            elif op == _BRNZ:
+                taken = regs[f1] != 0
                 miss = predictor.record(ip, taken)
                 cost = costs.CYCLES_BRANCH + (costs.CYCLES_BRANCH_MISS if miss else 0)
                 if miss and sample_on_brmiss:
@@ -334,7 +440,7 @@ class Machine:
                         state.cycles, state.instructions = cycles, instructions
                         self._take_sample(ip, None, branch=True)
                         cycles, instructions = state.cycles, state.instructions
-                    ip = ins[2]
+                    ip = f2
                     continue
                 cycles += cost
                 ip += 1
@@ -347,7 +453,7 @@ class Machine:
                     self._take_sample(ip - 1, None, branch=False)
                     cycles, instructions = state.cycles, state.instructions
                 continue
-            elif op == op_names.JMP:
+            elif op == _JMP:
                 cycles += costs.CYCLES_BRANCH
                 if sample_on_instr:
                     self._countdown -= 1
@@ -357,87 +463,87 @@ class Machine:
                     state.cycles, state.instructions = cycles, instructions
                     self._take_sample(ip, None)
                     cycles, instructions = state.cycles, state.instructions
-                ip = ins[1]
+                ip = f1
                 continue
-            elif op == op_names.SUB:
-                regs[ins[1]] = regs[ins[2]] - regs[ins[3]]
-            elif op == op_names.MUL:
-                r = regs[ins[2]] * regs[ins[3]]
+            elif op == _SUB:
+                regs[f1] = regs[f2] - regs[f3]
+            elif op == _MUL:
+                r = regs[f2] * regs[f3]
                 if isinstance(r, int):
                     r &= _MASK64
                     if r & _SIGN64:
                         r -= 1 << 64
-                regs[ins[1]] = r
+                regs[f1] = r
                 cost = costs.CYCLES_MUL
-            elif op == op_names.MULI:
-                r = regs[ins[2]] * ins[3]
+            elif op == _MULI:
+                r = regs[f2] * f3
                 if isinstance(r, int):
                     r &= _MASK64
                     if r & _SIGN64:
                         r -= 1 << 64
-                regs[ins[1]] = r
+                regs[f1] = r
                 cost = costs.CYCLES_MUL
-            elif op == op_names.SDIV:
+            elif op == _SDIV:
                 try:
-                    regs[ins[1]] = _sdiv(regs[ins[2]], regs[ins[3]])
+                    regs[f1] = _sdiv(regs[f2], regs[f3])
                 except ZeroDivisionError:
                     state.cycles, state.instructions = cycles, instructions
                     raise VMError("division by zero", ip) from None
                 cost = costs.CYCLES_DIV
-            elif op == op_names.SREM:
-                b = regs[ins[3]]
+            elif op == _SREM:
+                b = regs[f3]
                 if b == 0:
                     state.cycles, state.instructions = cycles, instructions
                     raise VMError("remainder by zero", ip)
-                a = regs[ins[2]]
-                regs[ins[1]] = a - b * _sdiv(a, b)
+                a = regs[f2]
+                regs[f1] = a - b * _sdiv(a, b)
                 cost = costs.CYCLES_DIV
-            elif op == op_names.AND:
-                regs[ins[1]] = regs[ins[2]] & regs[ins[3]]
-            elif op == op_names.OR:
-                regs[ins[1]] = regs[ins[2]] | regs[ins[3]]
-            elif op == op_names.XOR:
-                regs[ins[1]] = regs[ins[2]] ^ regs[ins[3]]
-            elif op == op_names.SHL:
-                regs[ins[1]] = (regs[ins[2]] << (regs[ins[3]] & 63)) & _MASK64
-            elif op == op_names.SHR:
-                regs[ins[1]] = (regs[ins[2]] & _MASK64) >> (regs[ins[3]] & 63)
-            elif op == op_names.ROTR:
-                v = regs[ins[2]] & _MASK64
-                s = regs[ins[3]] & 63
-                regs[ins[1]] = ((v >> s) | (v << (64 - s))) & _MASK64
-            elif op == op_names.ANDI:
-                regs[ins[1]] = regs[ins[2]] & ins[3]
-            elif op == op_names.SHLI:
-                regs[ins[1]] = (regs[ins[2]] << (ins[3] & 63)) & _MASK64
-            elif op == op_names.SHRI:
-                regs[ins[1]] = (regs[ins[2]] & _MASK64) >> (ins[3] & 63)
-            elif op == op_names.XORI:
-                regs[ins[1]] = regs[ins[2]] ^ ins[3]
-            elif op == op_names.FDIV:
-                b = regs[ins[3]]
+            elif op == _AND:
+                regs[f1] = regs[f2] & regs[f3]
+            elif op == _OR:
+                regs[f1] = regs[f2] | regs[f3]
+            elif op == _XOR:
+                regs[f1] = regs[f2] ^ regs[f3]
+            elif op == _SHL:
+                regs[f1] = (regs[f2] << (regs[f3] & 63)) & _MASK64
+            elif op == _SHR:
+                regs[f1] = (regs[f2] & _MASK64) >> (regs[f3] & 63)
+            elif op == _ROTR:
+                v = regs[f2] & _MASK64
+                s = regs[f3] & 63
+                regs[f1] = ((v >> s) | (v << (64 - s))) & _MASK64
+            elif op == _ANDI:
+                regs[f1] = regs[f2] & f3
+            elif op == _SHLI:
+                regs[f1] = (regs[f2] << (f3 & 63)) & _MASK64
+            elif op == _SHRI:
+                regs[f1] = (regs[f2] & _MASK64) >> (f3 & 63)
+            elif op == _XORI:
+                regs[f1] = regs[f2] ^ f3
+            elif op == _FDIV:
+                b = regs[f3]
                 if b == 0:
                     state.cycles, state.instructions = cycles, instructions
                     raise VMError("fdiv by zero", ip)
-                regs[ins[1]] = regs[ins[2]] / b
+                regs[f1] = regs[f2] / b
                 cost = costs.CYCLES_DIV
-            elif op == op_names.CVTIF:
-                regs[ins[1]] = float(regs[ins[2]])
-            elif op == op_names.CVTFI:
-                regs[ins[1]] = int(regs[ins[2]])
-            elif op == op_names.CRC32:
-                regs[ins[1]] = crc32_mix(regs[ins[2]], regs[ins[3]])
+            elif op == _CVTIF:
+                regs[f1] = float(regs[f2])
+            elif op == _CVTFI:
+                regs[f1] = int(regs[f2])
+            elif op == _CRC32:
+                regs[f1] = crc32_mix(regs[f2], regs[f3])
                 cost = costs.CYCLES_CRC32
-            elif op == op_names.SELECT:
-                rt, rf = ins[3]
-                regs[ins[1]] = regs[rt] if regs[ins[2]] else regs[rf]
-            elif op == op_names.MIN:
-                a, b = regs[ins[2]], regs[ins[3]]
-                regs[ins[1]] = a if a <= b else b
-            elif op == op_names.MAX:
-                a, b = regs[ins[2]], regs[ins[3]]
-                regs[ins[1]] = a if a >= b else b
-            elif op == op_names.CALL:
+            elif op == _SELECT:
+                rt, rf = f3
+                regs[f1] = regs[rt] if regs[f2] else regs[rf]
+            elif op == _MIN:
+                a, b = regs[f2], regs[f3]
+                regs[f1] = a if a <= b else b
+            elif op == _MAX:
+                a, b = regs[f2], regs[f3]
+                regs[f1] = a if a >= b else b
+            elif op == _CALL:
                 cost = costs.CYCLES_CALL
                 cycles += cost
                 self.call_stack.append(ip + 1)
@@ -452,9 +558,9 @@ class Machine:
                     state.cycles, state.instructions = cycles, instructions
                     self._take_sample(ip, None)
                     cycles, instructions = state.cycles, state.instructions
-                ip = ins[1]
+                ip = f1
                 continue
-            elif op == op_names.RET:
+            elif op == _RET:
                 cost = costs.CYCLES_RET
                 cycles += cost
                 ret = self.call_stack.pop()
@@ -468,23 +574,23 @@ class Machine:
                     cycles, instructions = state.cycles, state.instructions
                 if ret < 0:
                     state.cycles, state.instructions = cycles, instructions
-                    return
+                    return -1
                 ip = ret
                 continue
-            elif op == op_names.KCALL:
+            elif op == _KCALL:
                 state.cycles, state.instructions = cycles, instructions
                 if self.kernel is None:
                     raise VMError("kernel call without a kernel", ip)
-                self.kernel.call(self, ins[1])
+                self.kernel.call(self, f1)
                 cycles, instructions = state.cycles, state.instructions
                 ip += 1
                 continue
-            elif op == op_names.NOP:
+            elif op == _NOP:
                 pass
-            elif op == op_names.HALT:
+            elif op == _HALT:
                 state.cycles, state.instructions = cycles, instructions
                 self.call_stack.pop()
-                return
+                return -1
             else:
                 state.cycles, state.instructions = cycles, instructions
                 raise VMError(f"illegal opcode {op}", ip)

@@ -1,0 +1,850 @@
+"""Template translation: compile basic blocks into host-Python functions.
+
+This is the fast half of the machine's dual-mode engine, shaped like the
+basic-block translators of fast cycle-accounting simulators (QEMU's TCG,
+gem5 fast-forward): decode the guest :class:`~repro.vm.isa.Program` into
+superblocks (single-entry multi-exit traces that follow conditional
+fall-through and fold forward jumps), then ``exec``-compile every block
+into one specialized Python function.  Inside a block
+
+- opcode dispatch is gone (each instruction became a dedicated statement),
+- register/array accesses are inlined with constant indices,
+- the static cycle cost and instruction count are folded into per-block
+  constants applied once at block exit,
+
+while everything *dynamic* keeps exact per-access accounting: loads and
+stores still walk the cache hierarchy, conditional branches still train
+the 2-bit predictor, and error paths re-materialize the precise
+``MachineState`` the interpreter would have produced (same message, same
+ip, same counter values).
+
+Sampling exactness is preserved by a conservative *event bound* computed
+per block and per PMU event: the worst-case number of countdown events
+the block can generate.  The driver only enters a block when the live
+countdown strictly exceeds that bound, so a sample can never fall due
+mid-block; the countdown is then paid in one block-sized chunk.  When the
+bound check fails, the machine falls back to the interpreter for the rest
+of the sampling window (see ``Machine._run_fast``), which keeps sample
+streams bit-identical to pure interpretation.
+
+With the PMU unarmed there is no countdown to protect, so translation
+gets more aggressive: traces rooted at loop heads inline their side-exit
+continuations into superblock *trees* (bounded by ``_TREE_BUDGET`` and
+``_TREE_DEPTH``), and a branch back to the trace's own head closes the
+loop inside the compiled function — after re-checking the instruction
+budget exactly as the driver would — so hot loops run without returning
+to the dispatch loop at all.
+
+Translations are cached on the Program object, keyed by the sampled event
+(the countdown bookkeeping is specialized per event), so the up-to-four
+morsel workers of one query share a single translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import VMError
+from repro.vm import costs
+from repro.vm.isa import Opcode, Program, TERMINATOR_OPS, block_leaders
+from repro.vm.pmu import Event
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+# countdown-bookkeeping mode per sampled event (None = PMU off)
+_MODES = {
+    None: "",
+    Event.INSTRUCTIONS: "instr",
+    Event.CYCLES: "cycles",
+    Event.LOADS: "loads",
+    Event.L1_MISS: "l1",
+    Event.BRANCH_MISS: "brmiss",
+}
+
+# Superblock-tree growth limits for unarmed translations: total emitted
+# instructions per block function and inlining depth of side-exit
+# continuations.  Armed translations never grow trees — their worst-case
+# event bounds must stay small against the sampling countdown.
+_TREE_BUDGET = 1536
+_TREE_DEPTH = 8
+
+# worst-case cycle cost per opcode, for the CYCLES event bound
+_WORST_CYCLES = {
+    Opcode.LOAD: costs.LAT_MEM,
+    Opcode.STORE: costs.CYCLES_STORE,
+    Opcode.MUL: costs.CYCLES_MUL,
+    Opcode.MULI: costs.CYCLES_MUL,
+    Opcode.SDIV: costs.CYCLES_DIV,
+    Opcode.SREM: costs.CYCLES_DIV,
+    Opcode.FDIV: costs.CYCLES_DIV,
+    Opcode.CRC32: costs.CYCLES_CRC32,
+    Opcode.JMP: costs.CYCLES_BRANCH,
+    Opcode.BRZ: costs.CYCLES_BRANCH + costs.CYCLES_BRANCH_MISS,
+    Opcode.BRNZ: costs.CYCLES_BRANCH + costs.CYCLES_BRANCH_MISS,
+    Opcode.CALL: costs.CYCLES_CALL,
+    Opcode.RET: costs.CYCLES_RET,
+    Opcode.KCALL: 0,  # the kernel accounts for itself via advance_external
+    Opcode.HALT: 0,   # returns before any cost is charged
+}
+
+_SIMPLE_BINOPS = {
+    Opcode.ADD: "+", Opcode.SUB: "-", Opcode.AND: "&",
+    Opcode.OR: "|", Opcode.XOR: "^",
+}
+_CMP_OPS = {
+    Opcode.CMPEQ: "==", Opcode.CMPNE: "!=", Opcode.CMPLT: "<",
+    Opcode.CMPLE: "<=", Opcode.CMPGT: ">", Opcode.CMPGE: ">=",
+}
+_CMP_IMM_OPS = {
+    Opcode.CMPEQI: "==", Opcode.CMPNEI: "!=", Opcode.CMPLTI: "<",
+    Opcode.CMPLEI: "<=", Opcode.CMPGTI: ">", Opcode.CMPGEI: ">=",
+}
+
+_KNOWN_OPS = (
+    set(_SIMPLE_BINOPS) | set(_CMP_OPS) | set(_CMP_IMM_OPS) | set(_WORST_CYCLES)
+    | {
+        Opcode.NOP, Opcode.MOV, Opcode.MOVI, Opcode.ADDI, Opcode.ANDI,
+        Opcode.SHLI, Opcode.SHRI, Opcode.XORI, Opcode.SHL, Opcode.SHR,
+        Opcode.ROTR, Opcode.CVTIF, Opcode.CVTFI, Opcode.SELECT,
+        Opcode.MIN, Opcode.MAX,
+    }
+)
+
+
+@dataclass
+class Translation:
+    """All compiled blocks of one program for one PMU event mode.
+
+    ``blocks`` maps a leader ip to ``(fn, n_instructions, event_bound)``;
+    ``fn(machine, regs, words, state, caches, predictor)`` executes the
+    block and returns the next ip (negative = the run is complete).
+    """
+
+    blocks: dict[int, tuple]
+    event: Event | None
+    code_len: int
+    code_id: int
+    source: str  # kept for debugging / tests
+
+    def stale_for(self, program: Program) -> bool:
+        return (
+            self.code_len != len(program.code)
+            or self.code_id != id(program.code)
+        )
+
+
+def translation_for(program: Program, event: Event | None) -> Translation:
+    """Return the (cached) translation of ``program`` for ``event``."""
+    cache = getattr(program, "_vm_translations", None)
+    if cache is None:
+        cache = {}
+        program._vm_translations = cache
+    key = event.name if event is not None else None
+    entry = cache.get(key)
+    if entry is None or entry.stale_for(program):
+        entry = translate_program(program, event)
+        cache[key] = entry
+    return entry
+
+
+def translate_program(program: Program, event: Event | None) -> Translation:
+    """Decode ``program`` into basic blocks and compile each one.
+
+    Beyond the classic leaders, the worklist also chains *continuation*
+    blocks: when a block hits the size cap (or stops before an
+    untranslatable instruction) mid-straight-line-code, its fall-through
+    address gets a block of its own, so long arithmetic runs never drop
+    into the interpreter.
+    """
+    mode = _MODES[event]
+    # armed translations cap trace length so worst-case event bounds stay
+    # well under the countdown; unarmed ones have no countdown to protect
+    cap = (
+        costs.FAST_VM_MAX_BLOCK
+        if event is not None
+        else costs.FAST_VM_MAX_BLOCK_PLAIN
+    )
+    code = program.code
+    leaders = block_leaders(program)
+    chunks: list[str] = []
+    metas: list[tuple[int, int, int]] = []
+    done: set[int] = set()
+    queue = sorted(leaders)
+    while queue:
+        start = queue.pop()
+        if start in done or not 0 <= start < len(code):
+            continue
+        done.add(start)
+        emitted = _emit_block(code, start, cap, mode)
+        if emitted is None:
+            continue
+        src, n_instr, bound, fallthroughs = emitted
+        chunks.append(src)
+        metas.append((start, n_instr, bound))
+        for ft in fallthroughs:
+            if ft not in done:
+                queue.append(ft)
+    source = "\n".join(chunks)
+    namespace: dict = {"VMError": VMError, "crc32_mix": _crc32_mix()}
+    exec(compile(source, f"<fastvm:{mode or 'plain'}>", "exec"), namespace)
+    blocks = {
+        start: (namespace[f"_b{start}"], n_instr, bound)
+        for start, n_instr, bound in metas
+    }
+    return Translation(
+        blocks=blocks,
+        event=event,
+        code_len=len(code),
+        code_id=id(code),
+        source=source,
+    )
+
+
+def _crc32_mix():
+    # machine.py imports this module lazily, so the reverse import here
+    # cannot form a cycle at module-load time
+    from repro.vm.machine import crc32_mix
+
+    return crc32_mix
+
+
+def _translatable(ins: tuple) -> bool:
+    """True when the instruction's operands fit the templates below.
+
+    Anything odd — an unresolved label in a branch slot, a negative
+    target, a non-numeric immediate — is left to the interpreter, which
+    either handles it or produces the canonical error for it.
+    """
+    op = ins[0]
+    if op not in _KNOWN_OPS:
+        return False
+    if op == Opcode.JMP or op == Opcode.CALL:
+        return isinstance(ins[1], int) and ins[1] >= 0
+    if op == Opcode.BRZ or op == Opcode.BRNZ:
+        return isinstance(ins[2], int) and ins[2] >= 0
+    if op in (Opcode.LOAD, Opcode.STORE, Opcode.SHLI, Opcode.SHRI):
+        return isinstance(ins[3], int)
+    if op == Opcode.MOVI:
+        return isinstance(ins[2], (int, float))
+    if op == Opcode.SELECT:
+        return isinstance(ins[3], tuple) and len(ins[3]) == 2
+    if op in _CMP_IMM_OPS or op in (
+        Opcode.ADDI, Opcode.MULI, Opcode.ANDI, Opcode.XORI
+    ):
+        return isinstance(ins[3], (int, float))
+    return True
+
+
+def _decode_trace(code: list[tuple], start: int, cap: int):
+    """Follow the expected-hot path from ``start`` (superblock decoding).
+
+    Returns ``(items, fallthrough)`` with items in retire order.  A
+    conditional branch does not end the trace: decoding continues on the
+    not-taken (fall-through) arm and the taken arm becomes a *side exit*
+    in the emitted code — loop bodies laid out with backward taken edges
+    therefore translate into a single block per iteration.  A strictly
+    forward JMP is folded into the trace (it only costs cycles).  The
+    trace ends at CALL/RET/KCALL/HALT, a backward jump, an untranslatable
+    instruction, or the size cap; for the latter three, ``fallthrough``
+    is the next ip to execute (the caller chains a continuation there).
+    """
+    items: list[tuple[int, tuple]] = []
+    ip = start
+    limit = len(code)
+    while 0 <= ip < limit and len(items) < cap:
+        ins = code[ip]
+        op = ins[0]
+        if not _translatable(ins):
+            # executing it falls back to the interpreter, which raises
+            # the exact "illegal opcode" error if it must
+            break
+        items.append((ip, ins))
+        if op == Opcode.JMP:
+            if ins[1] > ip:
+                ip = ins[1]
+                continue
+            return items, None
+        if op == Opcode.BRZ or op == Opcode.BRNZ:
+            ip += 1
+            continue
+        if op in TERMINATOR_OPS:  # CALL, RET, KCALL, HALT
+            return items, None
+        ip += 1
+    return items, ip
+
+
+def _emit_block(code, start, cap, mode):
+    """Emit the source of one block function; None if nothing translatable.
+
+    Returns ``(source, max_path_instructions, event_bound,
+    fallthrough_ips)``; the fallthrough ips are continuation addresses
+    where some path of the block hands control back without a terminator
+    (size cap or untranslatable instruction), so :func:`translate_program`
+    can chain continuation blocks there.
+
+    With the PMU armed the block is a single linear trace, keeping its
+    worst-case event bound tight.  Unarmed blocks have no countdown to
+    protect and may grow *superblock trees*: the continuation of a side
+    exit is decoded and inlined into the taken arm (up to a total budget),
+    so hot paths that zig-zag through taken branches — and loop cycles
+    that cross several trace heads before branching back to this block's
+    start — run inside one Python function instead of bouncing through
+    the driver.
+    """
+    root_items, root_fall = _decode_trace(code, start, cap)
+    if not root_items:
+        return None
+
+    # Trees are grown only at *loop heads* — roots whose own trace
+    # branches back to start.  Hot cycles always contain a loop head, so
+    # the closed loop forms there, while cold leaders stay linear and the
+    # generated source stays compact enough to compile quickly.
+    is_loop_head = any(
+        (ins[0] == Opcode.JMP and ins[1] == start)
+        or (
+            (ins[0] == Opcode.BRZ or ins[0] == Opcode.BRNZ)
+            and ins[2] == start
+        )
+        for _, ins in root_items
+    )
+    tree = mode == "" and is_loop_head
+    if tree:
+        # inlined continuations can bring loads/branches anywhere, so the
+        # dynamic-cycles accumulator is unconditional
+        has_dyn = True
+    else:
+        has_dyn = any(
+            ins[0] == Opcode.LOAD
+            or ins[0] == Opcode.BRZ
+            or ins[0] == Opcode.BRNZ
+            for _, ins in root_items
+        )
+    has_load_root = any(ins[0] == Opcode.LOAD for _, ins in root_items)
+    bound = _event_bound(root_items, mode)
+
+    # Registers are cached in Python locals (``r5`` for ``regs[5]``) for
+    # the whole block: nothing outside the block can observe ``regs``
+    # while it runs, so reads/writes stay private until an exit.  Every
+    # used register is loaded up front (so early error exits can write
+    # back unconditionally) and every *written* register is flushed at
+    # each exit — the \x00WB placeholder marks those flush points and is
+    # expanded once the full written set is known.  \x00LE marks loop
+    # edges, expanded once the worst-case path length is known.
+    used_regs: set[int] = set()
+    written_regs: set[int] = set()
+    flags = {"mem": False, "loop": False}
+    fallthroughs: list[int] = []
+    max_k = 0  # worst-case instructions retired on any path
+    emitted = 0  # total instructions emitted (tree growth budget)
+
+    def rg(i: int) -> str:
+        used_regs.add(i)
+        return f"r{i}"
+
+    def wr(i: int) -> str:
+        used_regs.add(i)
+        written_regs.add(i)
+        return f"r{i}"
+
+    def try_inline(t, k, pend0, loads0, stores0, path, depth):
+        """Inline the continuation at ``t`` into the current arm.
+
+        Returns its emitted lines (at base indent), or None when trees
+        are disabled, the target closes a non-root cycle, or the growth
+        budget/depth is exhausted."""
+        if (
+            not tree
+            or depth >= _TREE_DEPTH
+            or t in path
+            or emitted >= _TREE_BUDGET
+        ):
+            return None
+        sub_items, sub_fall = _decode_trace(
+            code, t, min(cap, _TREE_BUDGET - emitted)
+        )
+        if not sub_items:
+            return None
+        return emit_seq(
+            sub_items, sub_fall, k, pend0, loads0, stores0,
+            path | {t}, depth + 1,
+        )
+
+    def emit_seq(items, fall, k0, pend0, loads0, stores0, path, depth):
+        """Emit one decoded trace; recursion happens at inlined exits.
+
+        ``k0``/``pend0``/``loads0``/``stores0`` carry the retired-count,
+        statically-known cycles, and memory-op counts accumulated on the
+        path into this trace, so sync points flush absolute totals."""
+        nonlocal max_k, emitted
+        emitted += len(items)
+        lines: list[str] = []
+        pend = pend0
+        loads_done = loads0
+        stores_done = stores0
+
+        def cy_expr(const: int) -> str:
+            if has_dyn:
+                return f"cy + {const}" if const else "cy"
+            return str(const)
+
+        def emit_error_sync(k: int, extra: int = 0) -> None:
+            nonlocal max_k
+            max_k = max(max_k, k)
+            lines.append("\x00WB        ")
+            expr = cy_expr(pend + extra)
+            if expr != "0":
+                lines.append(f"        state.cycles += {expr}")
+            lines.append(f"        state.instructions += {k}")
+            if loads_done:
+                lines.append(f"        state.loads += {loads_done}")
+            if stores_done:
+                lines.append(f"        state.stores += {stores_done}")
+            if loads_done + stores_done:
+                lines.append(
+                    f"        caches.accesses += {loads_done + stores_done}"
+                )
+
+        def emit_sync(
+            k: int, extra, instr_events: int, indent: str = "    "
+        ) -> None:
+            """Sync counters and pay the countdown at an exit retiring
+            ``k`` instructions; ``extra`` is the exiting instruction's
+            cost — an int, or the name of a local holding a dynamic
+            cost."""
+            nonlocal max_k
+            max_k = max(max_k, k)
+            lines.append(f"\x00WB{indent}")
+            if loads_done:
+                lines.append(f"{indent}state.loads += {loads_done}")
+            if stores_done:
+                lines.append(f"{indent}state.stores += {stores_done}")
+            if loads_done + stores_done:
+                lines.append(
+                    f"{indent}caches.accesses += {loads_done + stores_done}"
+                )
+            if isinstance(extra, int):
+                expr = cy_expr(pend + extra)
+            else:
+                expr = f"{cy_expr(pend)} + {extra}"
+            if mode == "cycles":
+                lines.append(f"{indent}_t = {expr}")
+                lines.append(f"{indent}state.cycles += _t")
+                lines.append(f"{indent}state.instructions += {k}")
+                lines.append(f"{indent}m._countdown -= _t")
+            else:
+                if expr != "0":
+                    lines.append(f"{indent}state.cycles += {expr}")
+                lines.append(f"{indent}state.instructions += {k}")
+                if mode == "instr" and instr_events:
+                    lines.append(f"{indent}m._countdown -= {instr_events}")
+                elif mode == "loads" and loads_done:
+                    lines.append(f"{indent}m._countdown -= {loads_done}")
+                elif mode == "l1" and has_load_root:
+                    lines.append(f"{indent}m._countdown -= _mi")
+
+        def emit_loop_edge(indent: str) -> None:
+            """Re-run the driver's admission check, then take the back
+            edge of the function-level loop (a ``continue`` jumps to the
+            block start: counters were just synced, ``cy`` resets at the
+            loop top)."""
+            flags["loop"] = True
+            lines.append(f"\x00LE{indent}")
+
+        for index, (ip, ins) in enumerate(items):
+            op = ins[0]
+            k = k0 + index + 1  # instructions retired including this one
+            d, a, b = ins[1], ins[2], ins[3]
+
+            if op == Opcode.NOP:
+                pend += 1
+            elif op == Opcode.MOV:
+                lines.append(f"    {wr(d)} = {rg(a)}")
+                pend += 1
+            elif op == Opcode.MOVI:
+                lines.append(f"    {wr(d)} = {a!r}")
+                pend += 1
+            elif op in _SIMPLE_BINOPS:
+                sym = _SIMPLE_BINOPS[op]
+                lines.append(f"    {wr(d)} = {rg(a)} {sym} {rg(b)}")
+                pend += 1
+            elif op in _CMP_OPS:
+                sym = _CMP_OPS[op]
+                lines.append(
+                    f"    {wr(d)} = 1 if {rg(a)} {sym} {rg(b)} else 0"
+                )
+                pend += 1
+            elif op in _CMP_IMM_OPS:
+                sym = _CMP_IMM_OPS[op]
+                lines.append(
+                    f"    {wr(d)} = 1 if {rg(a)} {sym} {b!r} else 0"
+                )
+                pend += 1
+            elif op == Opcode.ADDI:
+                lines.append(f"    {wr(d)} = {rg(a)} + {b!r}")
+                pend += 1
+            elif op == Opcode.ANDI:
+                lines.append(f"    {wr(d)} = {rg(a)} & {b!r}")
+                pend += 1
+            elif op == Opcode.XORI:
+                lines.append(f"    {wr(d)} = {rg(a)} ^ {b!r}")
+                pend += 1
+            elif op == Opcode.SHLI:
+                lines.append(
+                    f"    {wr(d)} = ({rg(a)} << {b & 63}) & {_MASK64}"
+                )
+                pend += 1
+            elif op == Opcode.SHRI:
+                lines.append(
+                    f"    {wr(d)} = ({rg(a)} & {_MASK64}) >> {b & 63}"
+                )
+                pend += 1
+            elif op == Opcode.SHL:
+                lines.append(
+                    f"    {wr(d)} = ({rg(a)} << ({rg(b)} & 63)) & {_MASK64}"
+                )
+                pend += 1
+            elif op == Opcode.SHR:
+                lines.append(
+                    f"    {wr(d)} = ({rg(a)} & {_MASK64}) >> ({rg(b)} & 63)"
+                )
+                pend += 1
+            elif op == Opcode.ROTR:
+                lines += [
+                    f"    _v = {rg(a)} & {_MASK64}",
+                    f"    _s = {rg(b)} & 63",
+                    f"    {wr(d)} = ((_v >> _s) | (_v << (64 - _s)))"
+                    f" & {_MASK64}",
+                ]
+                pend += 1
+            elif op == Opcode.MUL or op == Opcode.MULI:
+                rhs = rg(b) if op == Opcode.MUL else repr(b)
+                lines += [
+                    f"    _r = {rg(a)} * {rhs}",
+                    "    if isinstance(_r, int):",
+                    f"        _r &= {_MASK64}",
+                    f"        if _r & {_SIGN64}:",
+                    f"            _r -= {1 << 64}",
+                    f"    {wr(d)} = _r",
+                ]
+                pend += costs.CYCLES_MUL
+            elif op == Opcode.SDIV:
+                lines += [
+                    f"    _a = {rg(a)}",
+                    f"    _b = {rg(b)}",
+                    "    if _b == 0:",
+                ]
+                emit_error_sync(k)
+                lines += [
+                    f"        raise VMError('division by zero', {ip})",
+                    "    _q = abs(_a) // abs(_b)",
+                    f"    {wr(d)} = -_q if (_a < 0) != (_b < 0) else _q",
+                ]
+                pend += costs.CYCLES_DIV
+            elif op == Opcode.SREM:
+                lines += [
+                    f"    _b = {rg(b)}",
+                    "    if _b == 0:",
+                ]
+                emit_error_sync(k)
+                lines += [
+                    f"        raise VMError('remainder by zero', {ip})",
+                    f"    _a = {rg(a)}",
+                    "    _q = abs(_a) // abs(_b)",
+                    "    if (_a < 0) != (_b < 0):",
+                    "        _q = -_q",
+                    f"    {wr(d)} = _a - _b * _q",
+                ]
+                pend += costs.CYCLES_DIV
+            elif op == Opcode.FDIV:
+                lines += [
+                    f"    _b = {rg(b)}",
+                    "    if _b == 0:",
+                ]
+                emit_error_sync(k)
+                lines += [
+                    f"        raise VMError('fdiv by zero', {ip})",
+                    f"    {wr(d)} = {rg(a)} / _b",
+                ]
+                pend += costs.CYCLES_DIV
+            elif op == Opcode.CVTIF:
+                lines.append(f"    {wr(d)} = float({rg(a)})")
+                pend += 1
+            elif op == Opcode.CVTFI:
+                lines.append(f"    {wr(d)} = int({rg(a)})")
+                pend += 1
+            elif op == Opcode.CRC32:
+                # int operands (the overwhelmingly common case: hash keys)
+                # run the 64-bit mix inline; anything else falls back to
+                # crc32_mix, which hashes floats by IEEE-754 bit pattern
+                lines += [
+                    f"    _a = {rg(a)}",
+                    f"    _b = {rg(b)}",
+                    "    if _a.__class__ is int and _b.__class__ is int:",
+                    f"        _z = ((_a & {_MASK64})"
+                    f" ^ ((_b & {_MASK64}) * {0x9E3779B97F4A7C15}))"
+                    f" & {_MASK64}",
+                    "        _z ^= _z >> 29",
+                    f"        _z = (_z * {0xBF58476D1CE4E5B9}) & {_MASK64}",
+                    f"        {wr(d)} = _z ^ (_z >> 32)",
+                    "    else:",
+                    f"        {wr(d)} = crc32_mix(_a, _b)",
+                ]
+                pend += costs.CYCLES_CRC32
+            elif op == Opcode.SELECT:
+                rt, rf = b
+                lines.append(
+                    f"    {wr(d)} = {rg(rt)} if {rg(a)} else {rg(rf)}"
+                )
+                pend += 1
+            elif op == Opcode.MIN or op == Opcode.MAX:
+                sym = "<=" if op == Opcode.MIN else ">="
+                lines += [
+                    f"    _a = {rg(a)}",
+                    f"    _b = {rg(b)}",
+                    f"    {wr(d)} = _a if _a {sym} _b else _b",
+                ]
+                pend += 1
+            elif op == Opcode.LOAD:
+                flags["mem"] = True
+                addr = f"{rg(a)} + {b}" if b else rg(a)
+                lines += [
+                    f"    _x = {addr}",
+                    "    if _x & 7 or _x < 8:",
+                ]
+                emit_error_sync(k)
+                lines += [
+                    f"        raise VMError('unaligned or null load"
+                    f" at %#x' % _x, {ip})",
+                    "    try:",
+                    f"        {wr(d)} = words[_x >> 3]",
+                    "    except IndexError:",
+                ]
+                emit_error_sync(k)
+                lines += [
+                    f"        raise VMError('load out of bounds"
+                    f" at %#x' % _x, {ip}) from None",
+                    "    _ln = _x >> _lb",
+                    "    _tg = _l1s[_ln & _l1m]",
+                    "    if _tg and _tg[0] == _ln:",
+                    f"        cy += {costs.LAT_L1}",
+                    "    else:",
+                    "        _c = _acc(_x)",
+                    "        cy += _c",
+                ]
+                if mode == "l1":
+                    lines.append(f"        if _c > {costs.LAT_L1}:")
+                    lines.append("            _mi += 1")
+                loads_done += 1
+            elif op == Opcode.STORE:
+                # STORE encodes (op, base_reg, src_reg, imm)
+                flags["mem"] = True
+                addr = f"{rg(d)} + {b}" if b else rg(d)
+                lines += [
+                    f"    _x = {addr}",
+                    "    if _x & 7 or _x < 8:",
+                ]
+                emit_error_sync(k)
+                lines += [
+                    f"        raise VMError('unaligned or null store"
+                    f" at %#x' % _x, {ip})",
+                    "    try:",
+                    f"        words[_x >> 3] = {rg(a)}",
+                    "    except IndexError:",
+                ]
+                emit_error_sync(k)
+                lines += [
+                    f"        raise VMError('store out of bounds"
+                    f" at %#x' % _x, {ip}) from None",
+                    "    _ln = _x >> _lb",
+                    "    _tg = _l1s[_ln & _l1m]",
+                    "    if not _tg or _tg[0] != _ln:",
+                    "        _acc(_x)",
+                ]
+                pend += costs.CYCLES_STORE
+                stores_done += 1
+
+            # -- control flow ----------------------------------------------
+            elif op == Opcode.JMP:
+                if d > ip:
+                    # folded forward jump: control stays inside the trace,
+                    # only the branch cycle is charged
+                    pend += costs.CYCLES_BRANCH
+                elif d == start:
+                    emit_sync(k, costs.CYCLES_BRANCH, k)
+                    emit_loop_edge("    ")
+                else:
+                    sub = try_inline(
+                        d, k, pend + costs.CYCLES_BRANCH,
+                        loads_done, stores_done, path, depth,
+                    )
+                    if sub is not None:
+                        lines.extend(sub)
+                    else:
+                        emit_sync(k, costs.CYCLES_BRANCH, k)
+                        lines.append(f"    return {d}")
+            elif op == Opcode.BRZ or op == Opcode.BRNZ:
+                # side exit: the taken arm leaves the trace (or inlines
+                # its continuation), the fall-through arm keeps executing
+                cond = "==" if op == Opcode.BRZ else "!="
+                lines += [
+                    f"    _tk = {rg(d)} {cond} 0",
+                    "    predictor.branches += 1",
+                    f"    _cnt = predictor.counters.get({ip}, 1)",
+                    "    if _tk:",
+                    "        if _cnt < 3:",
+                    f"            predictor.counters[{ip}] = _cnt + 1",
+                    "    else:",
+                    "        if _cnt > 0:",
+                    f"            predictor.counters[{ip}] = _cnt - 1",
+                    "    if (_cnt >= 2) != _tk:",
+                    "        predictor.mispredicts += 1",
+                    f"        _bc = "
+                    f"{costs.CYCLES_BRANCH + costs.CYCLES_BRANCH_MISS}",
+                ]
+                if mode == "brmiss":
+                    lines.append("        m._countdown -= 1")
+                lines += [
+                    "    else:",
+                    f"        _bc = {costs.CYCLES_BRANCH}",
+                    "    if _tk:",
+                ]
+                if a == start:
+                    emit_sync(k, "_bc", k, indent="        ")
+                    emit_loop_edge("        ")
+                else:
+                    sub = try_inline(
+                        a, k, pend, loads_done, stores_done, path, depth,
+                    )
+                    if sub is not None:
+                        lines.append("        cy += _bc")
+                        lines.extend("    " + ln for ln in sub)
+                    else:
+                        emit_sync(k, "_bc", k, indent="        ")
+                        lines.append(f"        return {a}")
+                lines.append("    cy += _bc")
+            elif op == Opcode.CALL:
+                lines += [
+                    f"    m.call_stack.append({ip + 1})",
+                    "    if len(m.call_stack) > 256:",
+                ]
+                emit_error_sync(k, extra=costs.CYCLES_CALL)
+                lines.append(
+                    f"        raise VMError('call stack overflow', {ip})"
+                )
+                emit_sync(k, costs.CYCLES_CALL, k)
+                lines.append(f"    return {d}")
+            elif op == Opcode.RET:
+                lines.append("    _rt = m.call_stack.pop()")
+                emit_sync(k, costs.CYCLES_RET, k)
+                lines.append("    return _rt")
+            elif op == Opcode.KCALL:
+                # the kernel instruction itself is free and does not tick
+                # the instruction-event countdown (it `continue`s past
+                # that code in the interpreter); the kernel accounts for
+                # its own work
+                emit_sync(k, 0, k - 1)
+                lines += [
+                    "    if m.kernel is None:",
+                    f"        raise VMError('kernel call"
+                    f" without a kernel', {ip})",
+                    f"    m.kernel.call(m, {d})",
+                    f"    return {ip + 1}",
+                ]
+            elif op == Opcode.HALT:
+                # like KCALL, HALT retires without charging cycles or
+                # ticking the countdown
+                emit_sync(k, 0, k - 1)
+                lines += [
+                    "    m.call_stack.pop()",
+                    "    return -1",
+                ]
+
+        if fall is not None:
+            # trace ended at the size cap, an untranslatable instruction,
+            # or the end of the code image: hand the continuation ip back
+            # to the driver (a chained continuation block, or the
+            # interpreter)
+            k_end = k0 + len(items)
+            emit_sync(k_end, 0, k_end)
+            lines.append(f"    return {fall}")
+            fallthroughs.append(fall)
+        return lines
+
+    root_lines = emit_seq(root_items, root_fall, 0, 0, 0, 0, {start}, 0)
+    lines: list[str] = []
+    if has_dyn:
+        # inside the function-level loop when one exists, so a back edge
+        # resets the dynamic accumulators for the next iteration
+        lines.append("    cy = 0")
+    if has_load_root and mode == "l1":
+        lines.append("    _mi = 0")
+    lines += root_lines
+
+    # expand placeholders now that the written set and worst-case path
+    # length are final
+    written = sorted(written_regs)
+    if mode:
+        le_cond = (
+            f"m._countdown <= {bound}"
+            f" or state.instructions + {max_k} > _maxi"
+        )
+    else:
+        le_cond = f"state.instructions + {max_k} > _maxi"
+    expanded: list[str] = []
+    for ln in lines:
+        # inlined sub-traces get re-indented wholesale, so a placeholder
+        # line is (outer indent) + marker + (frame-local indent)
+        if "\x00WB" in ln:
+            indent = ln.replace("\x00WB", "")
+            expanded.extend(f"{indent}regs[{i}] = r{i}" for i in written)
+        elif "\x00LE" in ln:
+            indent = ln.replace("\x00LE", "")
+            expanded.extend([
+                f"{indent}if {le_cond}:",
+                f"{indent}    return {start}",
+                f"{indent}continue",
+            ])
+        else:
+            expanded.append(ln)
+
+    head: list[str] = [
+        f"def _b{start}(m, regs, words, state, caches, predictor):"
+    ]
+    if flags["mem"]:
+        # The L1 MRU-hit test is inlined at every memory op; anything else
+        # (LRU move, miss, allocation) calls back into the hierarchy so
+        # cache state stays bit-identical to the interpreter's.
+        head += [
+            "    _l1 = caches.l1",
+            "    _l1s = _l1.sets",
+            "    _l1m = _l1.set_mask",
+            "    _lb = _l1.line_bits",
+            "    _acc = caches.access_uncounted",
+        ]
+    if flags["loop"]:
+        head.append("    _maxi = state.max_instructions")
+    # load every used register up front: exits flush the full written set
+    # unconditionally, so all the locals must be bound from the start
+    head.extend(f"    r{i} = regs[{i}]" for i in sorted(used_regs))
+    if flags["loop"]:
+        body = ["    while True:"] + ["    " + ln for ln in expanded]
+    else:
+        body = expanded
+    return "\n".join(head + body) + "\n", max_k, bound, fallthroughs
+
+
+def _event_bound(instrs, mode) -> int:
+    """Worst-case countdown events one execution of the block can cost."""
+    if mode == "instr":
+        return len(instrs)
+    if mode == "cycles":
+        return sum(_WORST_CYCLES.get(ins[0], 1) for _, ins in instrs)
+    if mode == "loads" or mode == "l1":
+        return sum(1 for _, ins in instrs if ins[0] == Opcode.LOAD)
+    if mode == "brmiss":
+        return sum(
+            1 for _, ins in instrs
+            if ins[0] == Opcode.BRZ or ins[0] == Opcode.BRNZ
+        )
+    return 0

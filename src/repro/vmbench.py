@@ -1,0 +1,140 @@
+"""Fast-VM speed benchmark: translated blocks vs the block interpreter.
+
+Times each TPC-H query twice on the *same* compiled program — once on the
+template-translated fast VM and once with ``fast_vm=False`` — so the
+measured delta is purely the execution engine, never the planner or
+backend.  Compilation happens once per query outside the timed region;
+each engine takes the best of ``repeats`` runs to shed scheduler noise.
+
+Every run also asserts parity: both engines must produce identical result
+rows and identical (cycles, instructions) counters, so a speedup obtained
+by drifting from the interpreter's semantics can never be reported.
+
+``append_trajectory`` keeps ``BENCH_vm.json`` as an append-only list of
+run records — the speedup trajectory across commits that CI uploads and
+gates on (see ``benchmarks/bench_vm_speed.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.engine import Database
+
+#: queries spanning the interesting regimes: tight aggregation loops (q1,
+#: q6), join-heavy plans (q9, q18), EXISTS/anti-join control flow (q4,
+#: q22), LIKE scans (q13) and wide disjunctive predicates (q19)
+DEFAULT_QUERIES = (
+    "q1", "q3", "q4", "q6", "q9", "q13", "q18", "q19", "q22",
+)
+
+
+def _best_run(db, compiled, fast_vm: bool, repeats: int):
+    """Best-of-``repeats`` wall time plus the final run's observables."""
+    best = math.inf
+    machines = rows = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        machines, rows, _ = db._run_compiled(compiled, fast_vm=fast_vm)
+        best = min(best, time.perf_counter() - started)
+    counters = (
+        sum(m.state.instructions for m in machines),
+        max(m.state.cycles for m in machines),
+    )
+    return best, rows, counters
+
+
+def run_vm_bench(
+    queries=None,
+    scale: float = 0.001,
+    seed: int = 42,
+    repeats: int = 3,
+    log=None,
+) -> dict:
+    """Benchmark fast VM vs interpreter; returns the run record.
+
+    The record holds per-query wall times and speedups plus the geometric
+    mean; parity of rows and simulated counters is asserted per query.
+    """
+    from repro.data.queries import ALL_QUERIES
+
+    emit = log or (lambda message: None)
+    names = list(queries) if queries else list(DEFAULT_QUERIES)
+    per_query = {}
+    for name in names:
+        sql = ALL_QUERIES[name].sql
+        db = Database.tpch(scale=scale, seed=seed)
+        started = time.perf_counter()
+        compiled = db._compile(sql, None)
+        compile_s = time.perf_counter() - started
+
+        fast_s, fast_rows, fast_counters = _best_run(
+            db, compiled, True, repeats
+        )
+        slow_s, slow_rows, slow_counters = _best_run(
+            db, compiled, False, repeats
+        )
+        if fast_rows != slow_rows:
+            raise AssertionError(f"{name}: fast VM rows differ")
+        if fast_counters != slow_counters:
+            raise AssertionError(
+                f"{name}: fast VM counters differ "
+                f"(fast {fast_counters} vs interp {slow_counters})"
+            )
+        speedup = slow_s / fast_s
+        per_query[name] = {
+            "compile_s": round(compile_s, 4),
+            "fast_s": round(fast_s, 4),
+            "interp_s": round(slow_s, 4),
+            "speedup": round(speedup, 3),
+        }
+        emit(
+            f"{name}: interp {slow_s * 1000:7.1f} ms   "
+            f"fast {fast_s * 1000:7.1f} ms   {speedup:5.2f}x"
+        )
+    geomean = math.exp(
+        sum(math.log(q["speedup"]) for q in per_query.values())
+        / len(per_query)
+    )
+    emit(f"geomean speedup: {geomean:.3f}x over {len(per_query)} queries")
+    return {
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "queries": per_query,
+        "geomean_speedup": round(geomean, 3),
+    }
+
+
+def format_table(record: dict) -> str:
+    """Render one run record as the benchmark-suite report table."""
+    lines = [
+        f"{'query':<6} {'interp (ms)':>12} {'fast (ms)':>12} {'speedup':>9}"
+    ]
+    for name, q in record["queries"].items():
+        lines.append(
+            f"{name:<6} {q['interp_s'] * 1000:>12.1f} "
+            f"{q['fast_s'] * 1000:>12.1f} {q['speedup']:>8.2f}x"
+        )
+    lines.append(f"geomean speedup: {record['geomean_speedup']:.3f}x")
+    return "\n".join(lines)
+
+
+def append_trajectory(record: dict, path: str | Path) -> list[dict]:
+    """Append one run record to the ``BENCH_vm.json`` trajectory file."""
+    path = Path(path)
+    history: list[dict] = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, list):
+                history = loaded
+        except (OSError, ValueError):
+            history = []
+    record = dict(record, run=len(history))
+    history.append(record)
+    path.write_text(json.dumps(history, indent=1) + "\n")
+    return history

@@ -301,3 +301,41 @@ def test_branch_cost_included_in_cycles():
     m = make_machine(taken)
     m.call(0)
     assert m.state.cycles >= 2 + costs.CYCLES_BRANCH
+
+
+def test_store_cost_is_fixed_but_allocates():
+    # A store retires at the fixed CYCLES_STORE — the store buffer absorbs
+    # the write, so retirement never waits for the hierarchy — even when
+    # the target line is stone cold (see the CYCLES_STORE note in costs.py).
+    cold_store = make_machine([
+        (Op.STORE, 0, 1, 0),
+        (Op.RET, 0, 0, 0),
+    ])
+    base = cold_store.memory.alloc(64)
+    cold_store.call(0, (base,))
+    assert cold_store.state.stores == 1
+    assert cold_store.caches.l1_misses == 1  # write-allocate touched cache
+    assert cold_store.state.cycles == costs.CYCLES_STORE + costs.CYCLES_RET
+
+    # ...yet the write *allocates*: a load from the just-stored line pays
+    # only the L1 hit latency, not a miss to memory.
+    store_then_load = make_machine([
+        (Op.STORE, 0, 1, 0),
+        (Op.LOAD, 2, 0, 0),
+        (Op.RET, 0, 0, 0),
+    ])
+    base = store_then_load.memory.alloc(64)
+    store_then_load.call(0, (base,))
+    assert store_then_load.caches.l1_misses == 1  # only the store's miss
+    assert store_then_load.state.cycles == (
+        costs.CYCLES_STORE + costs.LAT_L1 + costs.CYCLES_RET
+    )
+
+    # a cold load, by contrast, pays the full miss latency
+    cold_load = make_machine([
+        (Op.LOAD, 2, 0, 0),
+        (Op.RET, 0, 0, 0),
+    ])
+    base = cold_load.memory.alloc(64)
+    cold_load.call(0, (base,))
+    assert cold_load.state.cycles > costs.LAT_L2 + costs.CYCLES_RET

@@ -1,0 +1,327 @@
+"""Parity suite for the template-translated fast VM.
+
+The fast VM (``repro.vm.translate``) must be an *invisible* optimization:
+for every program, every PMU configuration, and every failure mode, the
+machine state it leaves behind — result values, instruction/cycle/load/
+store counters, cache and branch-predictor statistics, error text and
+faulting ip, and the complete sample stream — must be bit-identical to
+the block interpreter's.  These tests run the same program through both
+engines and compare everything observable.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.engine import Database, ProfilerConfig
+from repro.errors import VMError
+from repro.data.queries import ALL_QUERIES
+from repro.fuzz import load_case, replay_case
+from repro.vm import costs
+from repro.vm.isa import (
+    CodeRegion, Label, Opcode as Op, Program, assemble, rebase,
+)
+from repro.vm.kernel import Kernel, install_kernel_stubs
+from repro.vm.machine import Machine
+from repro.vm.memory import Memory
+from repro.vm.pmu import Event, PmuConfig
+from repro.vm.translate import translate_program
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ALL_EVENTS = [
+    Event.INSTRUCTIONS, Event.CYCLES, Event.LOADS,
+    Event.L1_MISS, Event.BRANCH_MISS,
+]
+
+
+# -- helpers ---------------------------------------------------------------
+
+
+def build_program(items, name="f"):
+    code, _ = assemble(items)
+    program = Program()
+    program.append_function(name, rebase(code, 0), CodeRegion.QUERY)
+    return program
+
+
+def machine_observables(machine):
+    return {
+        "instructions": machine.state.instructions,
+        "cycles": machine.state.cycles,
+        "loads": machine.state.loads,
+        "stores": machine.state.stores,
+        "cache_accesses": machine.caches.accesses,
+        "l1_misses": machine.caches.l1_misses,
+        "branches": machine.predictor.branches,
+        "mispredicts": machine.predictor.mispredicts,
+        "samples": [
+            (s.ip, s.tsc, s.branch_taken, s.memaddr)
+            for s in machine.samples.samples
+        ],
+    }
+
+
+def run_pair(
+    items, pmu=None, with_kernel=False, max_instructions=None, setup=None
+):
+    """Run the same program on both engines; returns (fast, slow) where
+    each side is ``(result_or_error, observables)``."""
+    sides = []
+    for fast_vm in (True, False):
+        program = build_program(items)
+        memory = Memory(1 << 20)
+        kernel = (
+            Kernel(memory, install_kernel_stubs(program))
+            if with_kernel else None
+        )
+        machine = Machine(
+            program, memory, pmu_config=pmu, kernel=kernel, fast_vm=fast_vm
+        )
+        if max_instructions is not None:
+            machine.state.max_instructions = max_instructions
+        args = setup(machine) if setup else ()
+        try:
+            outcome = ("ok", machine.call(0, args))
+        except VMError as exc:
+            outcome = ("error", str(exc), exc.ip)
+        sides.append((outcome, machine_observables(machine)))
+    return sides
+
+
+def assert_pair_identical(items, pmu=None, **kwargs):
+    fast, slow = run_pair(items, pmu=pmu, **kwargs)
+    assert fast[0] == slow[0]
+    assert fast[1] == slow[1]
+
+
+LOOP_SUM = [
+    # r0 = base, r1 = count: writes a[i] = i*i, sums back the odd ones —
+    # a store, a load, and a data-dependent branch in every iteration
+    (Op.MOVI, 2, 0, 0),        # sum
+    (Op.MOVI, 3, 0, 0),        # i
+    Label("loop"),
+    (Op.CMPGE, 4, 3, 1),
+    (Op.BRNZ, 4, "done", 0),
+    (Op.SHLI, 5, 3, 3),
+    (Op.ADD, 5, 0, 5),         # &a[i]
+    (Op.MUL, 6, 3, 3),
+    (Op.STORE, 5, 6, 0),       # a[i] = i*i
+    (Op.LOAD, 6, 5, 0),
+    (Op.ANDI, 7, 6, 1),
+    (Op.BRZ, 7, "even", 0),
+    (Op.ADD, 2, 2, 6),
+    Label("even"),
+    (Op.ADDI, 3, 3, 1),
+    (Op.JMP, "loop", 0, 0),
+    Label("done"),
+    (Op.MOV, 0, 2, 0),
+    (Op.RET, 0, 0, 0),
+]
+
+LOOP_COUNT = 50
+
+
+def loop_setup(machine):
+    base = machine.memory.alloc(LOOP_COUNT * 8)
+    return (base, LOOP_COUNT)
+
+
+# -- machine-level parity --------------------------------------------------
+
+
+def test_loop_parity_unarmed():
+    fast, slow = run_pair(LOOP_SUM, setup=loop_setup)
+    assert fast == slow
+    assert fast[0][0] == "ok"
+    assert fast[0][1] == sum(i * i for i in range(LOOP_COUNT) if i % 2)
+
+
+@pytest.mark.parametrize("event", ALL_EVENTS, ids=[e.name for e in ALL_EVENTS])
+def test_loop_parity_every_event(event):
+    pmu = PmuConfig(event=event, period=150, record_memaddr=True)
+    assert_pair_identical(LOOP_SUM, pmu=pmu, setup=loop_setup)
+
+
+def test_parity_at_minimum_fast_period():
+    # the smallest period the fast engine still arms for: the sampling
+    # windows are barely larger than a block, so the interpreter fallback
+    # is exercised constantly
+    pmu = PmuConfig(
+        event=Event.INSTRUCTIONS, period=costs.FAST_VM_MIN_PERIOD,
+        record_memaddr=True,
+    )
+    fast, slow = run_pair(LOOP_SUM, pmu=pmu, setup=loop_setup)
+    assert fast == slow
+    assert fast[1]["samples"], "expected samples at this period"
+
+
+def test_fast_vm_disarms_below_minimum_period():
+    pmu = PmuConfig(
+        event=Event.INSTRUCTIONS, period=costs.FAST_VM_MIN_PERIOD - 1
+    )
+    program = build_program(LOOP_SUM)
+    machine = Machine(program, Memory(1 << 20), pmu_config=pmu)
+    assert machine._fast_blocks is None
+    armed = Machine(
+        program, Memory(1 << 20),
+        pmu_config=PmuConfig(
+            event=Event.INSTRUCTIONS, period=costs.FAST_VM_MIN_PERIOD
+        ),
+    )
+    assert armed._fast_blocks is not None
+
+
+def test_fast_vm_off_flag_disables_translation():
+    program = build_program(LOOP_SUM)
+    machine = Machine(program, Memory(1 << 20), fast_vm=False)
+    assert machine._fast_blocks is None
+
+
+def test_budget_error_parity():
+    # the budget expires mid-loop: the fast engine must hand exactly the
+    # remaining window to the interpreter so the error fires at the same
+    # instruction with the same counters
+    for limit in (37, 100, 333):
+        fast, slow = run_pair(
+            LOOP_SUM, max_instructions=limit, setup=loop_setup
+        )
+        assert fast == slow
+        assert fast[0][0] == "error"
+        assert "instruction budget exceeded" in fast[0][1]
+
+
+def test_division_fault_parity():
+    items = [
+        (Op.MOVI, 0, 96, 0),
+        (Op.MOVI, 1, 3, 0),
+        Label("loop"),
+        (Op.ADDI, 1, 1, -1),
+        (Op.SDIV, 0, 0, 1),   # divides by 2, then 1, then faults on 0
+        (Op.JMP, "loop", 0, 0),
+        (Op.RET, 0, 0, 0),
+    ]
+    fast, slow = run_pair(items)
+    assert fast == slow
+    assert fast[0][0] == "error"
+    assert "division by zero" in fast[0][1]
+
+
+def test_kernel_call_parity():
+    items = [
+        (Op.MOVI, 0, 256, 0),
+        (Op.KCALL, 0, 0, 0),            # kcall 0 = alloc(r0) -> ptr in r0
+        (Op.MOVI, 1, 7, 0),
+        (Op.STORE, 0, 1, 0),            # touch the allocation
+        (Op.LOAD, 2, 0, 0),
+        (Op.MOV, 0, 2, 0),
+        (Op.RET, 0, 0, 0),
+    ]
+    assert_pair_identical(items, with_kernel=True)
+    assert_pair_identical(
+        items, with_kernel=True,
+        pmu=PmuConfig(event=Event.CYCLES, period=2000, record_memaddr=True),
+    )
+
+
+def test_translation_covers_loop_and_caches():
+    program = build_program(LOOP_SUM)
+    translation = translate_program(program, None)
+    assert 0 in translation.blocks
+    # per-block metadata: worst-case instruction count and event bound
+    fn, max_k, bound = translation.blocks[0]
+    assert callable(fn) and max_k >= 1 and bound >= 0
+    # translations are cached per (program, event)
+    m1 = Machine(program, Memory(1 << 20))
+    m2 = Machine(program, Memory(1 << 20))
+    assert m1._fast_blocks is m2._fast_blocks
+
+
+# -- engine-level parity (TPC-H) -------------------------------------------
+
+
+def _query_observables(db, sql, event, fast_vm, period=None):
+    if event is None:
+        result = db.execute(sql, fast_vm=fast_vm)
+        return (result.rows, result.cycles, result.instructions)
+    config = (
+        ProfilerConfig(event=event, record_memaddr=True)
+        if period is None
+        else ProfilerConfig(event=event, record_memaddr=True, period=period)
+    )
+    profile = db.profile(sql, config=config, fast_vm=fast_vm)
+    return (profile.result.rows, machine_observables(profile.machine))
+
+
+@pytest.mark.parametrize("name", ["q1", "q4", "q6", "q18"])
+def test_tpch_plain_parity(name):
+    db = Database.tpch(scale=0.001, seed=42)
+    sql = ALL_QUERIES[name].sql
+    assert _query_observables(db, sql, None, True) == \
+        _query_observables(db, sql, None, False)
+
+
+@pytest.mark.parametrize("event", ALL_EVENTS, ids=[e.name for e in ALL_EVENTS])
+def test_tpch_sample_stream_parity(event):
+    # q14: join + aggregation + conditional arithmetic in a few hundred
+    # ms; the period is low enough that even the rare events (L1 misses,
+    # branch misses) produce a stream while the fast engine stays armed
+    db = Database.tpch(scale=0.001, seed=42)
+    sql = ALL_QUERIES["q14"].sql
+    fast = _query_observables(db, sql, event, True, period=200)
+    slow = _query_observables(db, sql, event, False, period=200)
+    assert fast == slow
+    assert fast[1]["samples"], "expected a non-empty sample stream"
+
+
+def test_tpch_parallel_parity():
+    db = Database.tpch(scale=0.001, seed=42)
+    sql = ALL_QUERIES["q6"].sql
+    fast = db.execute(sql, workers=4, morsel_size=64)
+    slow = db.execute(sql, workers=4, morsel_size=64, fast_vm=False)
+    assert fast.rows == slow.rows
+    assert (fast.cycles, fast.instructions) == (slow.cycles, slow.instructions)
+
+
+# -- corpus parity ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "stem", ["all-null-join-keys", "having-empty-aggregates"]
+)
+def test_corpus_sample_stream_parity(stem):
+    # the full corpus runs through the oracle (with its vm-parity check)
+    # in test_corpus_replay.py; here two cases get the explicit per-event
+    # sample-stream comparison
+    case = load_case(CORPUS_DIR / f"{stem}.json")
+    from repro.fuzz.dataset import build_database
+
+    for event in (Event.CYCLES, Event.LOADS):
+        db = build_database(case.dataset)
+        fast = _query_observables(db, case.sql, event, True)
+        db = build_database(case.dataset)
+        slow = _query_observables(db, case.sql, event, False)
+        assert fast == slow
+
+
+def test_oracle_flags_vm_divergence(monkeypatch):
+    # the fuzz oracle's vm-parity check must actually bite: sabotage the
+    # fast engine's cycle accounting and expect a disagreement
+    case = load_case(CORPUS_DIR / "all-null-join-keys.json")
+    result = replay_case(case, check_pgo=False)
+    assert result.agreed
+
+    from repro.vm.machine import Machine as M
+
+    original = M._run_fast
+
+    def skewed(self, entry_ip):
+        result = original(self, entry_ip)
+        self.state.cycles += 1
+        return result
+
+    monkeypatch.setattr(M, "_run_fast", skewed)
+    result = replay_case(case, check_pgo=False)
+    assert any(
+        d.config.startswith("vm-parity") for d in result.disagreements
+    )
