@@ -1,0 +1,134 @@
+"""Concurrent-service throughput: always-on profiling vs profiling off.
+
+The serving claim is that keeping the PMU armed across every production
+query (period ``SERVE_PERIOD_CYCLES``) stays within the paper-style 15%
+throughput budget while attributing ≥99% of samples to the right (query,
+operator) pair.  The on/off runs alternate round by round and the gate
+uses the median of per-round ratios, so machine drift on shared runners
+cancels instead of flaking the build; the measured trajectory is what
+``BENCH_serve.json`` tracks run over run.
+"""
+
+from pathlib import Path
+from time import perf_counter
+
+from benchmarks.conftest import report
+
+from repro import Database
+from repro.serve import (
+    QueryService,
+    ServiceConfig,
+    run_workload,
+    synthetic_workload,
+)
+from repro.serve.profiler import percentile
+from repro.vmbench import append_trajectory
+
+# locally measured overhead is ~10% at the default period; the gate
+# enforces the paper-style 15% budget on the drift-cancelled median,
+# catching a real regression of the always-on sampling path
+OVERHEAD_CEILING_PCT = 15.0
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+QUERIES = 32
+CLIENTS = 4
+REPEATS = 5
+
+
+def _build(profiling: bool):
+    database = Database.example(n_sales=6000, n_products=150)
+    service = QueryService(database, ServiceConfig(
+        workers=4, max_inflight=8, profiling=profiling,
+    ))
+    items = synthetic_workload(service, queries=QUERIES, clients=CLIENTS)
+    service.warm(dict.fromkeys(item.sql for item in items))
+    return service, items
+
+
+def _run_once(service, items):
+    started = perf_counter()
+    summary = run_workload(service, items, warm=False)
+    elapsed = perf_counter() - started
+    assert summary.clean, "benchmark workload must run clean"
+    return elapsed, summary
+
+
+def _describe(service, items, best) -> dict:
+    elapsed, summary = best
+    stats = service.stats()
+    latencies = sorted(r.latency_cycles for r in summary.results if r.ok)
+    return {
+        "elapsed_s": round(elapsed, 4),
+        "qps": round(len(items) / elapsed, 2),
+        "latency_p50_cycles": percentile(latencies, 0.50),
+        "latency_p95_cycles": percentile(latencies, 0.95),
+        "latency_p99_cycles": percentile(latencies, 0.99),
+        "samples": stats.get("samples", 0),
+        "tag_accuracy": stats.get("tag_accuracy", 1.0),
+    }
+
+
+def run_serve_bench() -> dict:
+    # the two configurations alternate within every round so slow machine
+    # drift (CI neighbours, thermal throttling) hits both sides equally;
+    # the overhead is the *median* of the per-round on/off ratios — each
+    # ratio is drift-cancelled, and the median discards transient spikes
+    # that min-of-N on independent sides would misalign
+    service_on, items_on = _build(profiling=True)
+    service_off, items_off = _build(profiling=False)
+    best_on = best_off = None
+    ratios = []
+    for _ in range(REPEATS):
+        timed_on = _run_once(service_on, items_on)
+        timed_off = _run_once(service_off, items_off)
+        ratios.append(timed_on[0] / timed_off[0])
+        if best_on is None or timed_on[0] < best_on[0]:
+            best_on = timed_on
+        if best_off is None or timed_off[0] < best_off[0]:
+            best_off = timed_off
+    on = _describe(service_on, items_on, best_on)
+    off = _describe(service_off, items_off, best_off)
+    overhead_pct = (sorted(ratios)[len(ratios) // 2] - 1.0) * 100
+    return {
+        "queries": QUERIES,
+        "clients": CLIENTS,
+        "workers": 4,
+        "profiling_on": on,
+        "profiling_off": off,
+        "round_ratios": [round(r, 4) for r in ratios],
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+def format_table(record: dict) -> str:
+    on, off = record["profiling_on"], record["profiling_off"]
+    lines = [
+        f"{'':<16}{'profiling on':>14}{'profiling off':>15}",
+        f"{'qps':<16}{on['qps']:>14.2f}{off['qps']:>15.2f}",
+        f"{'p50 (cycles)':<16}{on['latency_p50_cycles']:>14,}"
+        f"{off['latency_p50_cycles']:>15,}",
+        f"{'p95 (cycles)':<16}{on['latency_p95_cycles']:>14,}"
+        f"{off['latency_p95_cycles']:>15,}",
+        f"{'p99 (cycles)':<16}{on['latency_p99_cycles']:>14,}"
+        f"{off['latency_p99_cycles']:>15,}",
+        f"{'samples':<16}{on['samples']:>14,}{off['samples']:>15,}",
+        "",
+        f"tag accuracy {on['tag_accuracy']:.4f}, "
+        f"throughput overhead {record['overhead_pct']:+.2f}% "
+        f"(ceiling {OVERHEAD_CEILING_PCT:.0f}%)",
+    ]
+    return "\n".join(lines)
+
+
+def test_serve_profiling_overhead(benchmark):
+    record = benchmark.pedantic(run_serve_bench, rounds=1, iterations=1)
+    report(
+        "Concurrent service: always-on profiling overhead",
+        format_table(record),
+    )
+    append_trajectory(record, TRAJECTORY_PATH)
+    assert record["profiling_on"]["tag_accuracy"] >= 0.99
+    assert record["overhead_pct"] <= OVERHEAD_CEILING_PCT, (
+        f"always-on profiling costs {record['overhead_pct']:.1f}% "
+        f"throughput, above the {OVERHEAD_CEILING_PCT:.0f}% ceiling"
+    )

@@ -83,13 +83,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-rows", type=int, default=20, help="result rows to print"
     )
-    parser.add_argument(
-        "--no-fast-vm", action="store_true",
-        help="run on the block interpreter instead of the template-"
-             "translated fast VM (results and counters are identical; "
-             "this is a debugging/measurement knob)",
-    )
+    _add_fast_vm_flag(parser)
     return parser
+
+
+def _add_fast_vm_flag(parser: argparse.ArgumentParser) -> None:
+    """The shared --fast-vm/--no-fast-vm knob (same help everywhere)."""
+    parser.add_argument(
+        "--fast-vm", action=argparse.BooleanOptionalAction, default=True,
+        help="run on the template-translated fast VM (default) or, with "
+             "--no-fast-vm, on the block interpreter; results and counters "
+             "are identical — this is a debugging/measurement knob",
+    )
 
 
 def resolve_sql(args) -> str:
@@ -112,6 +117,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _fuzz_main(argv[1:], out)
     if argv and argv[0] == "bench":
         return _bench_main(argv[1:], out)
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:], out)
     args = build_parser().parse_args(argv)
     sql = resolve_sql(args)
     try:
@@ -132,7 +139,7 @@ def _run(args, sql: str, out) -> int:
         print(database.explain(sql), file=out)
         return 0
 
-    fast_vm = not args.no_fast_vm
+    fast_vm = args.fast_vm
     if not args.profile:
         result = database.execute(sql, workers=args.workers, fast_vm=fast_vm)
         _print_result(result, args.max_rows, out)
@@ -261,7 +268,8 @@ def _fuzz_main(argv: list[str], out) -> int:
         description="Differentially fuzz the engine: generated queries run "
                     "through every executor (compiled fast-VM, parallel, "
                     "block interpreter, reference interpreter, unoptimized, "
-                    "groupjoin, join-order hints, PGO) and must agree — "
+                    "groupjoin, join-order hints, PGO, concurrent query "
+                    "service) and must agree — "
                     "including bit-exact fast-VM counters and PMU sample "
                     "streams; disagreements are minimized and written out "
                     "as replayable corpus cases.",
@@ -299,6 +307,11 @@ def _fuzz_main(argv: list[str], out) -> int:
              "sample-stream comparison against the block interpreter)",
     )
     parser.add_argument(
+        "--no-serve", action="store_true",
+        help="skip the concurrent-service isolation config (8 in-flight "
+             "copies on shared workers vs a single-query run)",
+    )
+    parser.add_argument(
         "--no-shrink", action="store_true",
         help="report failures without minimizing them",
     )
@@ -326,6 +339,7 @@ def _fuzz_main(argv: list[str], out) -> int:
         rotate_every=args.rotate_every,
         check_pgo=not args.no_pgo,
         check_vm_parity=not args.no_vm_parity,
+        check_serve=not args.no_serve,
         inject_fault="invert-first-cmpeq" if args.inject_miscompile else None,
         time_limit=args.time_limit,
         corpus_dir=args.corpus,
@@ -406,6 +420,176 @@ def _bench_main(argv: list[str], out) -> int:
     if args.json:
         append_trajectory(record, args.json)
         print(f"trajectory appended to {args.json}", file=out)
+    return 0
+
+
+def _serve_main(argv: list[str], out) -> int:
+    """``python -m repro serve``: run a workload through the query service."""
+    from repro.serve import (
+        SERVE_PERIOD_CYCLES,
+        QueryService,
+        ServiceConfig,
+        load_workload,
+        run_workload,
+        synthetic_workload,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run a multi-client workload through the concurrent "
+                    "query service: sessions, admission control, morsel "
+                    "interleaving over shared VM workers, and always-on "
+                    "workload profiling that attributes every PMU sample "
+                    "to its (query, operator) pair.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--workload", metavar="FILE",
+        help='JSONL workload file: one {"sql": ..., "client": ..., '
+             '"priority": ...} object per line',
+    )
+    source.add_argument(
+        "--synthetic", action="store_true",
+        help="generate a deterministic multi-client workload from the "
+             "built-in templates over the example schema",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=40,
+        help="synthetic workload size (default 40)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="synthetic workload client sessions (default 4)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="shared VM workers, i.e. simulated cores (default 4)",
+    )
+    parser.add_argument(
+        "--inflight", type=int, default=8,
+        help="maximum concurrently executing queries (default 8)",
+    )
+    parser.add_argument(
+        "--queue", type=int, default=32,
+        help="admission queue depth before shedding (default 32)",
+    )
+    parser.add_argument(
+        "--morsel-size", type=int, default=256,
+        help="rows per interleaved work unit (default 256)",
+    )
+    parser.add_argument(
+        "--period", type=int, default=SERVE_PERIOD_CYCLES,
+        help=f"always-on sampling period in cycles "
+             f"(default {SERVE_PERIOD_CYCLES})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="service seed; session RNGs derive from it (default 0)",
+    )
+    parser.add_argument(
+        "--no-profiling", action="store_true",
+        help="disarm the PMU (no workload profile, no PGO feedback)",
+    )
+    parser.add_argument(
+        "--pgo-store", metavar="DIR",
+        help="feed the workload profile into this PGO ProfileStore",
+    )
+    parser.add_argument(
+        "--tpch", action="store_true",
+        help="serve the TPC-H database instead of the example schema "
+             "(requires --workload: the synthetic templates are written "
+             "against the example schema)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.001,
+        help="TPC-H scale factor for --tpch (default 0.001)",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print the rolling workload profile after the run",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any query failed or was shed",
+    )
+    _add_fast_vm_flag(parser)
+    args = parser.parse_args(argv)
+    if args.tpch and args.synthetic:
+        parser.error(
+            "--synthetic generates queries over the example schema; "
+            "use --workload with --tpch"
+        )
+
+    from repro.errors import ReproError
+
+    database = (
+        Database.tpch(scale=args.scale, seed=42)
+        if args.tpch else Database.example()
+    )
+    store = None
+    if args.pgo_store:
+        from repro.pgo import ProfileStore
+
+        store = ProfileStore(directory=args.pgo_store)
+    config = ServiceConfig(
+        workers=args.workers,
+        max_inflight=args.inflight,
+        max_queue=args.queue,
+        morsel_size=args.morsel_size,
+        profiling=not args.no_profiling,
+        period=args.period,
+        fast_vm=args.fast_vm,
+        seed=args.seed,
+    )
+    service = QueryService(database, config, pgo_store=store)
+    try:
+        items = (
+            load_workload(args.workload) if args.workload
+            else synthetic_workload(service, args.queries, args.clients)
+        )
+        if not items:
+            print("workload is empty", file=out)
+            return 2
+        summary = run_workload(service, items)
+    except ReproError as error:
+        print(str(error), file=out)
+        return 1
+
+    stats = service.stats()
+    cache = stats["plan_cache"]
+    print(
+        f"served {summary.submitted} queries on {stats['workers']} workers "
+        f"across {stats['epochs']} epoch(s): {summary.completed} ok, "
+        f"{summary.failed} failed, {stats['cancelled']} cancelled, "
+        f"{summary.shed} shed",
+        file=out,
+    )
+    print(
+        f"plan cache: {cache['hits']} hits, {cache['misses']} misses, "
+        f"{cache['entries']} resident; "
+        f"{stats['context_switches']} context switches",
+        file=out,
+    )
+    if service.profiler is not None:
+        print(
+            f"profiling: {stats['samples']} samples, "
+            f"tag accuracy {stats['tag_accuracy'] * 100:.2f}%",
+            file=out,
+        )
+    for result in summary.results:
+        if result.status != "ok":
+            detail = result.error or result.status
+            print(
+                f"  ticket {result.ticket} [{result.session}]: {detail}",
+                file=out,
+            )
+    if args.report and service.profiler is not None:
+        print(file=out)
+        print(service.workload_profile().render(), file=out)
+    if store is not None:
+        print(f"PGO feedback recorded under {args.pgo_store}", file=out)
+    if args.strict and not summary.clean:
+        return 1
     return 0
 
 

@@ -27,6 +27,10 @@ class BackendOptions:
     """Knobs the evaluation sweeps over."""
 
     reserve_tag_register: bool = False  # Register Tagging on/off
+    # query-qualified tagging (repro.serve): constant settags preserve the
+    # query-id half of the tag register instead of overwriting the whole
+    # register, so one cached compile serves many concurrent queries
+    qualify_tags: bool = False
     optimize: bool = True  # constfold + CSE + DCE
     # profile feedback (repro.pgo): branch layout + spill-cost hints,
     # resolved per function after optimization
@@ -119,6 +123,7 @@ def compile_module(
             function,
             tagging_enabled=options.reserve_tag_register,
             invert_branches=invert_branches,
+            qualify_tags=options.qualify_tags,
         )
         allocated = allocate_function(
             isel.items,

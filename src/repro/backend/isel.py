@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import BackendError
 from repro.ir.nodes import Block, Const, Function, Instr, Param, Type, Value
-from repro.vm.isa import REG_TAG, Opcode
+from repro.vm.isa import REG_TAG, TAG_TASK_MASK, Opcode
 from repro.backend.minst import VREG_BASE, MCallSeq, MInst, MLabel
 
 _BINOP_TO_OPCODE = {
@@ -73,10 +73,12 @@ class _Isel:
         function: Function,
         tagging_enabled: bool,
         invert_branches: set[int] | frozenset = frozenset(),
+        qualify_tags: bool = False,
     ):
         self.function = function
         self.tagging_enabled = tagging_enabled
         self.invert_branches = invert_branches
+        self.qualify_tags = qualify_tags
         self.items: list = []
         self.next_vreg = VREG_BASE
         self.value_vreg: dict[int, int] = {}
@@ -293,8 +295,22 @@ class _Isel:
             self.emit(Opcode.MOV, dst, REG_TAG, ir_id=iid)
             tag = instr.args[0]
             if isinstance(tag, Const):
-                self.emit(Opcode.MOVI, REG_TAG, tag.value, ir_id=iid)
+                if self.qualify_tags:
+                    # preserve the query-id half installed by the serve
+                    # scheduler: clear the task half, then XOR the new
+                    # task id into the (now zero) low 32 bits
+                    self.emit(
+                        Opcode.ANDI, REG_TAG, REG_TAG, ~TAG_TASK_MASK,
+                        ir_id=iid,
+                    )
+                    self.emit(
+                        Opcode.XORI, REG_TAG, REG_TAG, tag.value, ir_id=iid
+                    )
+                else:
+                    self.emit(Opcode.MOVI, REG_TAG, tag.value, ir_id=iid)
             else:
+                # restoring a saved tag: the saved value already carries
+                # the full (query-id, task) pair, MOV preserves both halves
                 self.emit(Opcode.MOV, REG_TAG, self.vreg_of(tag, iid), ir_id=iid)
             self.value_vreg[iid] = dst
             return
@@ -357,11 +373,14 @@ def select_function(
     function: Function,
     tagging_enabled: bool = False,
     invert_branches: set[int] | frozenset = frozenset(),
+    qualify_tags: bool = False,
 ) -> IselResult:
     """Lower one IR function to virtual-register machine code.
 
     ``invert_branches`` holds the ids of ``condbr`` instructions whose hot
     edge is the *false* edge (profile feedback); those lower with the
     BRZ/JMP layout so the common path retires one branch instead of two.
+    ``qualify_tags`` makes constant ``settag``s preserve the query-id half
+    of the tag register (concurrent serving, repro.serve).
     """
-    return _Isel(function, tagging_enabled, invert_branches).run()
+    return _Isel(function, tagging_enabled, invert_branches, qualify_tags).run()

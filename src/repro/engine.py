@@ -26,7 +26,9 @@ from repro.codegen import (
 from repro.data import generate_example, generate_tpch
 from repro.errors import ReproError
 from repro.pipeline import decompose
+from repro.pipeline.tasks import Pipeline
 from repro.plan.cardinality import CardinalityModel
+from repro.plancache import PlanCache
 from repro.plan.interpret import Interpreter
 from repro.plan.physical import (
     PhysicalOutput,
@@ -125,14 +127,6 @@ class CompiledQuery:
     feedback_applied: bool = False
 
 
-@dataclass
-class _CachedPlan:
-    """Plan-cache entry: invalidated when fresher feedback is recorded."""
-
-    compiled: CompiledQuery
-    feedback_version: int
-
-
 class _QueryEnvironment:
     """Per-query :class:`DataEnvironment`: DB segments + query-local state."""
 
@@ -176,12 +170,19 @@ class Database:
         self._column_addresses: dict[tuple[str, str], int] = {}
         self._year_table_addr = 0
         self._ready = False
-        # profile-guided optimization (repro.pgo): the feedback store and
-        # the fingerprint-keyed compiled-plan cache, see enable_pgo()
+        # the profile-guided-optimization feedback store (see enable_pgo)
+        # and the engine-level LRU plan cache shared by plain execute, the
+        # PGO path, and every serve session (repro.plancache)
         self.pgo_store = None
-        self._plan_cache: dict[tuple, _CachedPlan] = {}
-        self.plan_cache_hits = 0
-        self.plan_cache_misses = 0
+        self.plan_cache = PlanCache()
+
+    @property
+    def plan_cache_hits(self) -> int:
+        return self.plan_cache.hits
+
+    @property
+    def plan_cache_misses(self) -> int:
+        return self.plan_cache.misses
 
     # -- construction -------------------------------------------------------
 
@@ -335,6 +336,7 @@ class Database:
         feedback=None,
         count_tuples: bool = False,
         inject_fault: str | None = None,
+        qualify_tags: bool = False,
     ) -> CompiledQuery:
         """Lower a query through every step, down to placed native code.
 
@@ -398,7 +400,8 @@ class Database:
             and profiler.mode is ProfilingMode.REGISTER_TAGGING
         )
         options = BackendOptions(
-            reserve_tag_register=reserve, optimize=optimize_backend
+            reserve_tag_register=reserve, optimize=optimize_backend,
+            qualify_tags=qualify_tags and reserve,
         )
 
         # backend feedback keys are post-optimization IR positions of the
@@ -462,6 +465,53 @@ class Database:
             feedback_applied=cardinality_feedback
             or backend_feedback is not None,
         )
+
+    def compiled_for(
+        self,
+        sql: str,
+        *,
+        profiler: ProfilerConfig | None = None,
+        join_order_hint: list[str] | None = None,
+        planner_options: PlannerOptions | None = None,
+        optimize_backend: bool = True,
+        count_tuples: bool = False,
+        qualify_tags: bool = False,
+        feedback=None,
+        feedback_version: int = 0,
+        flavor: str = "plain",
+    ) -> CompiledQuery:
+        """A compiled plan for ``sql``, via the shared LRU plan cache.
+
+        The key covers everything that changes the generated code: the
+        normalized SQL fingerprint, planner knobs, and the compile flavor
+        (tag-register reservation, query-qualified tags, tuple counters).
+        Compilation happens *outside* any memory mark — a cached plan's
+        compile-time allocations (bitmaps) must outlive this call."""
+        from repro.pgo.fingerprint import fingerprint
+
+        reserve = (
+            profiler is not None
+            and profiler.mode is ProfilingMode.REGISTER_TAGGING
+        )
+        key = (
+            fingerprint(sql),
+            flavor,
+            tuple(join_order_hint) if join_order_hint else None,
+            planner_options,
+            optimize_backend,
+            reserve,
+            qualify_tags,
+            count_tuples,
+        )
+        compiled = self.plan_cache.get(key, feedback_version)
+        if compiled is None:
+            compiled = self._compile(
+                sql, profiler, join_order_hint, planner_options,
+                optimize_backend=optimize_backend, feedback=feedback,
+                count_tuples=count_tuples, qualify_tags=qualify_tags,
+            )
+            self.plan_cache.put(key, compiled, feedback_version)
+        return compiled
 
     def _run_compiled(
         self,
@@ -596,8 +646,7 @@ class Database:
                 continue
 
             morsel_outputs: list[tuple[int, list[tuple]]] = []
-            for morsel_index, lo in enumerate(range(0, total, morsel_size)):
-                hi = min(total, lo + morsel_size)
+            for morsel_index, lo, hi in Pipeline.morsels(total, morsel_size):
                 machine = min(machines, key=lambda m: m.state.cycles)
                 before = len(machine.output)
                 machine.call(entry, (state_addr, lo, hi))
@@ -700,12 +749,23 @@ class Database:
                 optimize_backend, morsel_size=morsel_size, fast_vm=fast_vm,
             )
         if inject_fault is not None:
+            # deliberately damaged compiles never enter the plan cache
             fast_vm = False
-        compiled, machines, rows, _ = self._compile_and_run(
-            sql, None, join_order_hint, planner_options, workers=workers,
-            morsel_size=morsel_size, optimize_backend=optimize_backend,
-            inject_fault=inject_fault, instruction_limit=instruction_limit,
-            fast_vm=fast_vm,
+            compiled, machines, rows, _ = self._compile_and_run(
+                sql, None, join_order_hint, planner_options, workers=workers,
+                morsel_size=morsel_size, optimize_backend=optimize_backend,
+                inject_fault=inject_fault, instruction_limit=instruction_limit,
+                fast_vm=fast_vm,
+            )
+            return self._result(compiled.physical, machines, rows)
+        compiled = self.compiled_for(
+            sql, join_order_hint=join_order_hint,
+            planner_options=planner_options,
+            optimize_backend=optimize_backend,
+        )
+        machines, rows, _ = self._run_compiled(
+            compiled, None, workers=workers, morsel_size=morsel_size,
+            instruction_limit=instruction_limit, fast_vm=fast_vm,
         )
         return self._result(compiled.physical, machines, rows)
 
@@ -724,7 +784,7 @@ class Database:
         elif not isinstance(store, ProfileStore):
             store = ProfileStore(directory=store)
         self.pgo_store = store
-        self._plan_cache.clear()
+        self.plan_cache.clear()
         return store
 
     def _require_pgo(self):
@@ -739,35 +799,23 @@ class Database:
         self, sql, join_order_hint, planner_options, workers,
         optimize_backend, morsel_size: int = 1024, fast_vm: bool = True,
     ) -> QueryResult:
-        from repro.pgo.fingerprint import fingerprint
-
         store = self._require_pgo()
-        key = (
-            fingerprint(sql),
-            tuple(join_order_hint) if join_order_hint else None,
-            planner_options,
-            optimize_backend,
+        # the "pgo" flavor keys separately from plain compiles: a stale
+        # feedback version must recompile without ping-ponging against the
+        # feedback-free plain entry for the same fingerprint
+        compiled = self.compiled_for(
+            sql, join_order_hint=join_order_hint,
+            planner_options=planner_options,
+            optimize_backend=optimize_backend,
+            feedback=store.feedback(sql),
+            feedback_version=store.version(sql),
+            flavor="pgo",
         )
-        version = store.version(sql)
-        cached = self._plan_cache.get(key)
-        if cached is None or cached.feedback_version != version:
-            # compile outside any memory mark: the plan's compile-time
-            # allocations (bitmaps) must outlive this call for reuse
-            compiled = self._compile(
-                sql, None, join_order_hint, planner_options,
-                optimize_backend=optimize_backend,
-                feedback=store.feedback(sql),
-            )
-            cached = _CachedPlan(compiled=compiled, feedback_version=version)
-            self._plan_cache[key] = cached
-            self.plan_cache_misses += 1
-        else:
-            self.plan_cache_hits += 1
         machines, rows, _ = self._run_compiled(
-            cached.compiled, None, workers=workers, morsel_size=morsel_size,
+            compiled, None, workers=workers, morsel_size=morsel_size,
             fast_vm=fast_vm,
         )
-        return self._result(cached.compiled.physical, machines, rows)
+        return self._result(compiled.physical, machines, rows)
 
     def _build_profile(
         self, config, compiled: CompiledQuery, machines, rows, task_counts

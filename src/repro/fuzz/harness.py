@@ -87,6 +87,7 @@ def run_fuzz(
     rotate_every: int = 25,
     check_pgo: bool = True,
     check_vm_parity: bool = True,
+    check_serve: bool = True,
     inject_fault: str | None = None,
     time_limit: float | None = None,
     corpus_dir: str | Path | None = None,
@@ -115,7 +116,7 @@ def run_fuzz(
             report.datasets += 1
         oracle = DifferentialOracle(
             db, max_hints=max_hints, check_pgo=check_pgo,
-            check_vm_parity=check_vm_parity,
+            check_vm_parity=check_vm_parity, check_serve=check_serve,
             inject_fault=inject_fault,
         )
 

@@ -3,8 +3,10 @@
 One query, many executors: the compiled backend single- and multi-worker
 (on the template-translated fast VM), the same program on the block
 interpreter (``fast_vm=False``), the reference interpreter, the
-unoptimized backend, groupjoin fusion, join-order-hint permutations, and
-the PGO path (profile, cold execute, warm plan-cache execute).  All of
+unoptimized backend, groupjoin fusion, join-order-hint permutations, the
+PGO path (profile, cold execute, warm plan-cache execute), and the
+concurrent query service (8 in-flight copies sharing 4 workers, checked
+for per-query counter isolation against a single-query run).  All of
 them must agree on the result bag —
 with ordered-prefix semantics when the query carries ORDER BY, and
 relative float tolerance for aggregate arithmetic whose evaluation order
@@ -149,6 +151,7 @@ class DifferentialOracle:
         max_hints: int = 4,
         check_pgo: bool = True,
         check_vm_parity: bool = True,
+        check_serve: bool = True,
         inject_fault: str | None = None,
         instruction_limit: int = INSTRUCTION_LIMIT,
     ):
@@ -156,6 +159,7 @@ class DifferentialOracle:
         self.max_hints = max_hints
         self.check_pgo = check_pgo
         self.check_vm_parity = check_vm_parity
+        self.check_serve = check_serve
         # when set, the named fault is injected into the *reference*
         # compile — every healthy executor should then catch the damage
         self.inject_fault = inject_fault
@@ -232,6 +236,8 @@ class DifferentialOracle:
         outcomes = [self._run(config, thunk) for config, thunk in runs]
         if self.check_pgo and fault is None:
             outcomes.extend(self._pgo_outcomes(sql))
+        if self.check_serve and fault is None:
+            outcomes.append(self._serve_outcome(sql))
         return outcomes
 
     def _pgo_outcomes(self, sql: str) -> list[Outcome]:
@@ -248,7 +254,94 @@ class DifferentialOracle:
             return [profiled, cold, warm]
         finally:
             db.pgo_store = saved_store
-            db._plan_cache.clear()
+            db.plan_cache.clear()
+
+    def _serve_outcome(self, sql: str) -> Outcome:
+        """The concurrent query service: 8 in-flight copies on 4 workers.
+
+        The service's per-query counters (instructions, loads, stores,
+        tuple counters) and rows must be *interleaving-invariant*: all 8
+        concurrent instances must report bit-identical values, and those
+        values must match a single-query run of the same service config.
+        Any isolation breach is folded into an "error" outcome so the
+        generic kind comparison flags it against the rows reference."""
+        from repro.serve import QueryService, ServiceConfig
+
+        config = "serve-concurrent"
+        service_config = ServiceConfig(
+            workers=4, max_inflight=8, morsel_size=97, profiling=True,
+        )
+        limit = self.instruction_limit
+
+        def signature(result):
+            return (
+                result.instructions, result.loads, result.stores,
+                tuple(sorted(result.task_counts.items())),
+                tuple(map(tuple, result.rows or [])),
+            )
+
+        def run(copies: int):
+            service = QueryService(self.db, service_config)
+            tickets = [
+                service.session(f"fuzz-{i}").submit(
+                    sql, max_instructions=limit
+                )
+                for i in range(copies)
+            ]
+            service.drain()
+            return service, [service.result(t) for t in tickets]
+
+        try:
+            service, concurrent = run(8)
+            _, solo = run(1)
+        except Exception as exc:  # noqa: BLE001 - any failure is an outcome
+            return Outcome(
+                config, "error", error=f"{type(exc).__name__}: {exc}"
+            )
+
+        statuses = {r.status for r in concurrent + solo}
+        if statuses == {"failed"}:
+            codes = {r.error_code for r in concurrent + solo}
+            if len(codes) == 1:
+                return Outcome(
+                    config, "error", error=f"ServiceError: {codes.pop()}"
+                )
+            return Outcome(
+                config, "error",
+                error=f"inconsistent failure codes across instances: {codes}",
+            )
+        if statuses != {"ok"}:
+            return Outcome(
+                config, "error",
+                error=f"mixed statuses across instances: {statuses}",
+            )
+
+        reference = signature(concurrent[0])
+        for instance in concurrent[1:]:
+            if signature(instance) != reference:
+                return Outcome(
+                    config, "error",
+                    error=(
+                        "per-query counter isolation violated: instance "
+                        f"{instance.ticket} differs from instance 1"
+                    ),
+                )
+        if signature(solo[0]) != reference:
+            return Outcome(
+                config, "error",
+                error=(
+                    "concurrent counters differ from the single-query run"
+                ),
+            )
+        if service.profiler is not None and service.profiler.accuracy < 0.99:
+            return Outcome(
+                config, "error",
+                error=(
+                    "sample attribution accuracy "
+                    f"{service.profiler.accuracy:.4f} below 0.99"
+                ),
+            )
+        return Outcome(config, "rows", rows=list(concurrent[0].rows))
 
     def _vm_signature(self, sql: str, fast_vm: bool) -> Outcome:
         """Profile once and fold the complete machine state into rows.

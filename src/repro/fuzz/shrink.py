@@ -269,6 +269,7 @@ class Shrinker:
         max_hints: int = 2,
         check_pgo: bool = False,
         check_vm_parity: bool = False,
+        check_serve: bool = False,
         inject_fault: str | None = None,
         max_checks: int = 400,
     ):
@@ -277,6 +278,7 @@ class Shrinker:
         self.max_hints = max_hints
         self.check_pgo = check_pgo
         self.check_vm_parity = check_vm_parity
+        self.check_serve = check_serve
         self.inject_fault = inject_fault
         self.max_checks = max_checks
         self.checks = 0
@@ -294,6 +296,7 @@ class Shrinker:
             max_hints=self.max_hints,
             check_pgo=self.check_pgo,
             check_vm_parity=self.check_vm_parity,
+            check_serve=self.check_serve,
             inject_fault=self.inject_fault,
         )
         result = oracle.check(

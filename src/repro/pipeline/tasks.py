@@ -45,6 +45,15 @@ class Pipeline:
     def driver(self) -> Task:
         return self.tasks[0]
 
+    @staticmethod
+    def morsels(total: int, morsel_size: int):
+        """Split a tuple domain into ``(index, lo, hi)`` morsel ranges.
+
+        Shared by the engine's morsel loop and the serve scheduler so both
+        produce identical work units for the same domain."""
+        for index, lo in enumerate(range(0, total, morsel_size)):
+            yield index, lo, min(total, lo + morsel_size)
+
     @property
     def label(self) -> str:
         return " -> ".join(t.label for t in self.tasks)

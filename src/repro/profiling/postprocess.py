@@ -11,6 +11,7 @@ samples are deliberately unattributable (Table 2's ~2 %).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.pipeline.tasks import Task
@@ -36,6 +37,10 @@ class Attribution:
     kernel_function: str | None = None
     via: str = "dictionary"  # dictionary | register-tag | callstack | region
     worker: int = 0  # simulated core the sample was taken on
+    # query/tenant dimension (repro.serve): the query-id half of the tag
+    # register when several in-flight queries share the workers; None for
+    # classic single-query profiling runs
+    query_id: int | None = None
 
     @property
     def operators(self) -> tuple[PhysicalOperator, ...]:
@@ -70,6 +75,15 @@ class SampleProcessor:
     # ------------------------------------------------------------------
 
     def attribute(self, sample: Sample) -> Attribution:
+        attribution = self._attribute(sample)
+        query_id = sample.query_id
+        if query_id:
+            # only stamp the query dimension when the high tag half is in
+            # use (repro.serve); classic runs keep the None default
+            attribution = dataclasses.replace(attribution, query_id=query_id)
+        return attribution
+
+    def _attribute(self, sample: Sample) -> Attribution:
         region = self.program.region_at(sample.ip)
         if region is CodeRegion.KERNEL:
             info = self.program.function_at(sample.ip)
@@ -105,7 +119,9 @@ class SampleProcessor:
 
         if sample.registers is not None:
             tag = sample.registers[REG_TAG]
-            task = self.tagging.task_by_id(tag) if isinstance(tag, int) else None
+            # the low half is the task id; the high half (if any) is the
+            # query id, resolved separately in attribute()
+            task = self.tagging.task_of_tag(tag) if isinstance(tag, int) else None
             if task is not None:
                 return Attribution(
                     sample,
@@ -173,6 +189,19 @@ class SampleProcessor:
             for task in attribution.tasks:
                 op = task.operator
                 weights[op] = weights.get(op, 0.0) + share
+        return weights
+
+    def query_weights(
+        self, attributions: list[Attribution]
+    ) -> dict[int | None, int]:
+        """Sample counts per query id (the serve tenant dimension).
+
+        ``None`` collects samples whose registers were not recorded (or
+        that predate query-qualified tagging)."""
+        weights: dict[int | None, int] = {}
+        for attribution in attributions:
+            key = attribution.query_id
+            weights[key] = weights.get(key, 0) + 1
         return weights
 
     def task_weights(self, attributions: list[Attribution]) -> dict[Task, float]:

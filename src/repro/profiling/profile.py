@@ -130,6 +130,16 @@ class Profile:
 
         return reports.annotated_pipelines(self)
 
+    def query_breakdown(self) -> dict:
+        from repro.profiling import reports
+
+        return reports.query_breakdown(self)
+
+    def render_query_breakdown(self) -> str:
+        from repro.profiling import reports
+
+        return reports.render_query_breakdown(self)
+
     def iterations(self):
         from repro.profiling import reports
 

@@ -72,6 +72,47 @@ def annotated_pipelines(profile) -> str:
     return "\n".join(lines)
 
 
+def query_breakdown(profile) -> dict:
+    """The query/tenant dimension (repro.serve): samples and operator
+    shares per query id.
+
+    Under concurrent serving one sample stream carries work from many
+    in-flight queries; the tag register's high half says which.  Classic
+    single-query profiles collapse to a single ``None`` bucket."""
+    by_query: dict = {}
+    for attribution in profile.attributions:
+        by_query.setdefault(attribution.query_id, []).append(attribution)
+    breakdown: dict = {}
+    for query_id in sorted(
+        by_query, key=lambda q: (q is None, q if q is not None else 0)
+    ):
+        attrs = by_query[query_id]
+        weights = profile.processor.operator_weights(attrs)
+        total = sum(weights.values())
+        breakdown[query_id] = {
+            "samples": len(attrs),
+            "operators": (
+                {op.label: w / total for op, w in weights.items()}
+                if total
+                else {}
+            ),
+        }
+    return breakdown
+
+
+def render_query_breakdown(profile) -> str:
+    """Text rendering of :func:`query_breakdown`."""
+    breakdown = query_breakdown(profile)
+    lines = ["samples per query (tag-register high half):"]
+    for query_id, info in breakdown.items():
+        label = "unqualified" if query_id is None else f"query {query_id}"
+        lines.append(f"{label}: {info['samples']} sample(s)")
+        top = sorted(info["operators"].items(), key=lambda kv: -kv[1])[:5]
+        for op_label, share in top:
+            lines.append(f"  {share * 100:5.1f}%  {op_label}")
+    return "\n".join(lines)
+
+
 # ---------------------------------------------------------------------------
 
 

@@ -15,7 +15,7 @@ import json
 import pathlib
 
 from repro.errors import ProfilingError
-from repro.vm.isa import REG_TAG
+from repro.vm.isa import REG_TAG, TAG_QUERY_SHIFT, TAG_TASK_MASK
 
 _TAGGING_FILE = "tagging.json"
 _PROGRAM_FILE = "program.json"
@@ -70,7 +70,13 @@ def save_session(profile, directory) -> pathlib.Path:
             record = {"ip": sample.ip, "tsc": sample.tsc,
                       "worker": attribution.worker}
             if sample.registers is not None:
-                record["tag"] = sample.registers[REG_TAG]
+                tag = sample.registers[REG_TAG]
+                record["tag"] = tag
+                if isinstance(tag, int) and tag >> TAG_QUERY_SHIFT:
+                    # query/tenant dimension (repro.serve): persist the
+                    # high half explicitly so offline tools need no
+                    # knowledge of the packing
+                    record["query"] = tag >> TAG_QUERY_SHIFT
             if sample.callstack is not None:
                 record["callstack"] = list(sample.callstack)
             if sample.memaddr is not None:
@@ -132,6 +138,10 @@ class OfflineSession:
             return "unattributed", []
         if region == "runtime":
             tag = record.get("tag")
+            if isinstance(tag, int):
+                # the low half is the task id (the high half, when
+                # present, is the serve query id — see record["query"])
+                tag &= TAG_TASK_MASK
             if tag in self._tasks:
                 return "operator", [self._tasks[tag]]
             for call_site in reversed(record.get("callstack", [])):
@@ -158,6 +168,17 @@ class OfflineSession:
             "kernel_share": counts["kernel"] / total,
             "unattributed_share": counts["unattributed"] / total,
         }
+
+    def query_weights(self) -> dict[int, int]:
+        """Sample counts per serve query id (0 = unqualified samples)."""
+        weights: dict[int, int] = {}
+        for record in self.samples:
+            query = record.get("query")
+            if query is None:
+                tag = record.get("tag")
+                query = tag >> TAG_QUERY_SHIFT if isinstance(tag, int) else 0
+            weights[query] = weights.get(query, 0) + 1
+        return weights
 
     def operator_weights(self) -> dict[str, float]:
         weights: dict[str, float] = {}

@@ -20,6 +20,7 @@ from repro.backend.opts import OptimizationResult
 from repro.errors import ProfilingError
 from repro.pipeline.tasks import Task
 from repro.plan.physical import PhysicalOperator
+from repro.vm.isa import TAG_QUERY_SHIFT, TAG_TASK_MASK
 
 # Paper §6.2: one dictionary entry is a triple (operator, task, IR source
 # line) stored in 24 bytes.
@@ -69,6 +70,27 @@ class TaggingDictionary:
                         parents.append(task_id)
             if parents:
                 self.log_b[survivor] = tuple(parents)
+
+    # -- query dimension (repro.serve) --------------------------------------
+    #
+    # Under concurrent serving the tag register carries a packed
+    # (query-id, task-id) pair: the task half identifies the component of
+    # *some* compiled plan, the query half identifies which in-flight query
+    # instance executed it (two concurrent queries can share one cached
+    # compile, and therefore identical task ids).
+
+    @staticmethod
+    def encode_tag(query_id: int, task_id: int) -> int:
+        return (query_id << TAG_QUERY_SHIFT) | (task_id & TAG_TASK_MASK)
+
+    @staticmethod
+    def decode_tag(value: int) -> tuple[int, int]:
+        """Split a captured tag-register value into (query_id, task_id)."""
+        return value >> TAG_QUERY_SHIFT, value & TAG_TASK_MASK
+
+    def task_of_tag(self, value: int) -> Task | None:
+        """Resolve the task half of a (possibly qualified) tag value."""
+        return self.tasks.get(value & TAG_TASK_MASK)
 
     # -- lookup (post-processing time) --------------------------------------
 

@@ -1,0 +1,40 @@
+"""Structured service errors: every failure path carries a stable code.
+
+Clients of the concurrent query service (and its tests) match on
+``ServiceError.code``, never on message text — the codes are part of the
+service's public contract and must stay stable across releases.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+# stable error codes (the service's wire contract)
+QUEUE_FULL = "QUEUE_FULL"
+TIMEOUT = "TIMEOUT"
+CANCELLED = "CANCELLED"
+SESSION_CLOSED = "SESSION_CLOSED"
+COMPILE_ERROR = "COMPILE_ERROR"
+INSTRUCTION_LIMIT = "INSTRUCTION_LIMIT"
+EXEC_ERROR = "EXEC_ERROR"
+
+_KNOWN_CODES = frozenset({
+    QUEUE_FULL,
+    TIMEOUT,
+    CANCELLED,
+    SESSION_CLOSED,
+    COMPILE_ERROR,
+    INSTRUCTION_LIMIT,
+    EXEC_ERROR,
+})
+
+
+class ServiceError(ReproError):
+    """A structured failure: a stable ``code`` plus a human message."""
+
+    def __init__(self, code: str, message: str):
+        if code not in _KNOWN_CODES:
+            raise ValueError(f"unknown service error code: {code}")
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.detail = message

@@ -1,0 +1,232 @@
+"""Always-on workload profiling: the PMU never disarms between queries.
+
+The service's workers keep sampling across query boundaries (the PMU
+cursor travels with the worker, see :mod:`repro.serve.workers`); this
+module turns that continuous sample stream into:
+
+* a per-query :class:`~repro.profiling.profile.Profile` built at query
+  completion — fed straight into the PGO feedback store when one is
+  attached, closing the profile-guided-optimization loop for *every*
+  production query instead of dedicated profiling runs;
+* a rolling :class:`WorkloadProfile`: per-template operator cost shares,
+  top-K hot code regions, and latency percentiles across the workload;
+* an attribution-accuracy metric: the scheduler knows ground truth (it
+  observed which query each sample interrupted), the tag register's
+  query-id half is the mechanism under test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.profiling.postprocess import SampleProcessor
+from repro.profiling.profile import Profile
+
+
+def percentile(values: list[int], fraction: float) -> int:
+    """Nearest-rank percentile; 0 for an empty list."""
+    if not values:
+        return 0
+    ordered = sorted(values)
+    rank = max(1, int(round(fraction * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class TemplateStats:
+    """Rolling aggregate for one query template (by SQL fingerprint)."""
+
+    sql: str
+    queries: int = 0
+    samples: int = 0
+    instructions: int = 0
+    latencies: list[int] = field(default_factory=list)
+    operator_samples: Counter = field(default_factory=Counter)
+
+    def operator_shares(self) -> dict[str, float]:
+        total = sum(self.operator_samples.values())
+        if total == 0:
+            return {}
+        return {
+            label: count / total
+            for label, count in self.operator_samples.most_common()
+        }
+
+
+@dataclass
+class WorkloadProfile:
+    """A point-in-time snapshot of the rolling workload aggregate."""
+
+    queries: int
+    samples: int
+    attributed_samples: int
+    matched_samples: int
+    templates: dict[str, TemplateStats]
+    hot_regions: list[tuple[str, int]]
+    latency_p50: int
+    latency_p95: int
+    latency_p99: int
+
+    @property
+    def accuracy(self) -> float:
+        """Share of register-carrying samples whose decoded query id
+        matches the scheduler's ground truth (1.0 when nothing sampled)."""
+        if self.attributed_samples == 0:
+            return 1.0
+        return self.matched_samples / self.attributed_samples
+
+    def render(self) -> str:
+        lines = [
+            "workload profile",
+            f"  queries profiled    {self.queries}",
+            f"  samples             {self.samples}",
+            f"  tag accuracy        {self.accuracy:.4f}",
+            "  latency cycles      "
+            f"p50={self.latency_p50} p95={self.latency_p95} "
+            f"p99={self.latency_p99}",
+        ]
+        if self.hot_regions:
+            lines.append("  hot regions")
+            for name, count in self.hot_regions:
+                lines.append(f"    {count:6d}  {name}")
+        for key, stats in sorted(
+            self.templates.items(), key=lambda kv: -kv[1].samples
+        ):
+            lines.append(
+                f"  template {key}  ({stats.queries} runs, "
+                f"{stats.samples} samples)"
+            )
+            first = stats.sql.strip().splitlines()[0] if stats.sql else ""
+            if first:
+                lines.append(f"    {first[:72]}")
+            for label, share in list(stats.operator_shares().items())[:6]:
+                lines.append(f"    {share:6.1%}  {label}")
+        return "\n".join(lines)
+
+
+class ContinuousProfiler:
+    """Aggregates the always-on sample stream across queries."""
+
+    def __init__(self, database, config, pgo_store=None, top_k: int = 10):
+        self.database = database
+        self.config = config
+        self.pgo_store = pgo_store
+        self.top_k = top_k
+        self.queries = 0
+        self.samples_total = 0
+        # accuracy bookkeeping: scheduler ground truth vs register tag
+        self.attributed_samples = 0
+        self.matched_samples = 0
+        self.templates: dict[str, TemplateStats] = {}
+        self.region_counter: Counter = Counter()
+        self.latencies: list[int] = []
+
+    # -- per-unit (called by the scheduler after every dispatched unit) ----
+
+    def observe_unit(self, execution, new_samples) -> None:
+        """Score each fresh sample against scheduler ground truth.
+
+        The scheduler knows exactly which query's unit the worker was
+        running when the PMU fired; the register-decoded query id is the
+        mechanism being validated (§6.3-style accuracy, per query)."""
+        self.samples_total += len(new_samples)
+        truth = execution.query_id
+        for sample in new_samples:
+            if sample.registers is None:
+                continue
+            self.attributed_samples += 1
+            if sample.query_id == truth:
+                self.matched_samples += 1
+
+    # -- per-query (called at completion) ----------------------------------
+
+    def complete_query(self, execution) -> Profile | None:
+        """Build the query's Profile, aggregate it, feed the PGO store."""
+        from repro.pgo.fingerprint import fingerprint
+
+        compiled = execution.compiled
+        processor = SampleProcessor(compiled.program, compiled.tagging)
+        attributions = []
+        for worker_index, sample in execution.samples:
+            attribution = processor.attribute(sample)
+            if worker_index:
+                attribution = dataclasses.replace(
+                    attribution, worker=worker_index
+                )
+            attributions.append(attribution)
+        attributions.sort(key=lambda a: a.sample.tsc)
+
+        machines = [
+            execution.machines[idx] for idx in sorted(execution.machines)
+        ]
+        from repro.engine import QueryResult
+
+        result = QueryResult(
+            columns=[name for name, _ in compiled.physical.columns],
+            rows=execution.rows or [],
+            cycles=execution.latency_cycles,
+            instructions=execution.instructions,
+        )
+        profile = Profile(
+            database=self.database,
+            config=self.config,
+            physical=compiled.physical,
+            pipelines=compiled.pipelines,
+            ir_module=compiled.query_ir.module,
+            program=compiled.program,
+            machine=machines[0] if machines else None,
+            machines=machines,
+            tagging=compiled.tagging,
+            processor=processor,
+            attributions=attributions,
+            result=result,
+            sql=compiled.sql,
+            task_counts=execution.task_counts,
+            estimates=compiled.estimates,
+        )
+
+        self.queries += 1
+        self.latencies.append(execution.latency_cycles)
+        key = fingerprint(compiled.sql)
+        stats = self.templates.get(key)
+        if stats is None:
+            stats = self.templates[key] = TemplateStats(sql=compiled.sql)
+        stats.queries += 1
+        stats.samples += len(attributions)
+        stats.instructions += execution.instructions
+        stats.latencies.append(execution.latency_cycles)
+        for attribution in attributions:
+            weight = attribution.weight_per_task
+            for task in attribution.tasks:
+                stats.operator_samples[task.operator.label] += weight
+        for _, sample in execution.samples:
+            info = compiled.program.function_at(sample.ip)
+            name = info.name if info else f"ip:{sample.ip:#x}"
+            self.region_counter[name] += 1
+
+        if self.pgo_store is not None:
+            self.pgo_store.record(profile)
+        return profile
+
+    # -- snapshots ---------------------------------------------------------
+
+    def workload_profile(self) -> WorkloadProfile:
+        return WorkloadProfile(
+            queries=self.queries,
+            samples=self.samples_total,
+            attributed_samples=self.attributed_samples,
+            matched_samples=self.matched_samples,
+            templates=dict(self.templates),
+            hot_regions=self.region_counter.most_common(self.top_k),
+            latency_p50=percentile(self.latencies, 0.50),
+            latency_p95=percentile(self.latencies, 0.95),
+            latency_p99=percentile(self.latencies, 0.99),
+        )
+
+    @property
+    def accuracy(self) -> float:
+        if self.attributed_samples == 0:
+            return 1.0
+        return self.matched_samples / self.attributed_samples

@@ -1,0 +1,504 @@
+"""The concurrent query service: sessions, admission, shared workers.
+
+``QueryService`` multiplexes many in-flight queries over a fixed pool of
+simulated cores.  The host process is single-threaded — concurrency is a
+*simulated-time* phenomenon, exactly like the engine's morsel-parallel
+workers: the scheduler repeatedly picks the next (query, unit) pair and
+the least-loaded worker, and simulated clocks interleave.
+
+Determinism: given the same database, config, and submission sequence,
+every scheduling decision is a pure function of simulated clocks and
+submission order, so two runs produce bit-identical per-query counters,
+rows, and sample streams.  Per-query counters are additionally
+*interleaving-invariant* (see :mod:`repro.serve.execution`), which is
+what the differential fuzzer's ``serve-concurrent`` oracle checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine import ProfilerConfig, ProfilingMode
+from repro.errors import ReproError, VMError
+from repro.serve.admission import AdmissionController, QueryRequest
+from repro.serve.errors import (
+    CANCELLED,
+    COMPILE_ERROR,
+    EXEC_ERROR,
+    INSTRUCTION_LIMIT,
+    SESSION_CLOSED,
+    TIMEOUT,
+    ServiceError,
+)
+from repro.serve.execution import (
+    CANCELLED as EXEC_CANCELLED,
+    DONE,
+    FAILED,
+    MORSEL,
+    QueryExecution,
+    Unit,
+)
+from repro.serve.profiler import ContinuousProfiler
+from repro.serve.session import Session, SessionManager
+from repro.serve.workers import Worker
+from repro.vm.machine import Machine
+from repro.vm.pmu import Event
+
+# the service's default sampling period: coarse enough that always-on
+# profiling stays well inside the paper-style 15% throughput budget
+# while a steady workload still collects hundreds of samples per second
+SERVE_PERIOD_CYCLES = 100_000
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the concurrent query service."""
+
+    workers: int = 4
+    max_inflight: int = 8
+    max_queue: int = 32
+    morsel_size: int = 256
+    profiling: bool = True
+    period: int = SERVE_PERIOD_CYCLES
+    event: Event = Event.CYCLES
+    fast_vm: bool = True
+    plan_cache_flavor: str = "serve"
+    seed: int = 0
+
+
+@dataclass
+class ServiceResult:
+    """What a client gets back for one ticket."""
+
+    ticket: int
+    query_id: int
+    session: str
+    sql: str
+    status: str  # "ok" | "failed" | "cancelled"
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] | None = None
+    error: ServiceError | None = None
+    # interleaving-invariant per-query counters
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    task_counts: dict[int, int] = field(default_factory=dict)
+    # simulated-time metrics (deterministic, but interleaving-dependent)
+    latency_cycles: int = 0
+    busy_cycles: int = 0
+    samples: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def error_code(self) -> str | None:
+        return self.error.code if self.error is not None else None
+
+
+class QueryService:
+    """Admission-controlled concurrent execution over shared VM workers."""
+
+    def __init__(self, database, config: ServiceConfig | None = None,
+                 pgo_store=None):
+        self.db = database
+        self.config = config or ServiceConfig()
+        if self.config.workers < 1:
+            raise ReproError("service needs at least one worker")
+        self.workers = [Worker(i) for i in range(self.config.workers)]
+        self.sessions = SessionManager(self, seed=self.config.seed)
+        self.admission = AdmissionController(max_queue=self.config.max_queue)
+        self.pgo_store = pgo_store
+        if self.config.profiling:
+            self._profiler_config = ProfilerConfig(
+                mode=ProfilingMode.REGISTER_TAGGING,
+                event=self.config.event,
+                period=self.config.period,
+                count_tuples=pgo_store is not None,
+            )
+            self.profiler = ContinuousProfiler(
+                database, self._profiler_config, pgo_store=pgo_store
+            )
+        else:
+            self._profiler_config = None
+            self.profiler = None
+        self.inflight: dict[int, QueryExecution] = {}
+        self.results: dict[int, ServiceResult] = {}
+        self._order: list[ServiceResult] = []
+        self._requests: dict[int, QueryRequest] = {}
+        self._tickets = 0
+        self._query_ids = 0
+        self._step = 0
+        # execution epoch: bump-allocator mark + plan-cache watermark,
+        # taken at the idle->busy transition, released at quiesce
+        self._epoch_mark: int | None = None
+        self._cache_watermark = 0
+        self.epochs = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+
+    # -- client API ---------------------------------------------------------
+
+    def session(self, name: str, seed: int | None = None) -> Session:
+        return self.sessions.open(name, seed)
+
+    def submit(
+        self,
+        sql: str,
+        session: Session | str | None = None,
+        priority: int = 0,
+        timeout_cycles: int | None = None,
+        max_instructions: int | None = None,
+    ) -> int:
+        """Queue a query; returns its ticket.
+
+        Raises :class:`ServiceError` with code ``QUEUE_FULL`` when the
+        admission queue sheds the request."""
+        if session is None:
+            session = self.sessions.open("default")
+        elif isinstance(session, str):
+            session = self.sessions.open(session)
+        if session.closed:
+            raise ServiceError(
+                SESSION_CLOSED, f"session {session.name!r} is closed"
+            )
+        self._tickets += 1
+        request = QueryRequest(
+            ticket=self._tickets,
+            sql=sql,
+            session=session.name,
+            priority=priority,
+            timeout_cycles=timeout_cycles,
+            max_instructions=max_instructions,
+        )
+        self.admission.offer(request)  # may shed with QUEUE_FULL
+        self._requests[request.ticket] = request
+        session.tickets.append(request.ticket)
+        return request.ticket
+
+    def cancel(self, ticket: int) -> bool:
+        """Cancel a queued or in-flight query; False if already finished."""
+        if ticket in self.results:
+            return False
+        if self.admission.cancel(ticket):
+            request = self._requests.get(ticket)
+            self._record_cancelled(request)
+            return True
+        for execution in self.inflight.values():
+            if execution.request.ticket == ticket and not execution.done:
+                execution.fail(
+                    ServiceError(CANCELLED, f"query {ticket} cancelled"),
+                    status=EXEC_CANCELLED,
+                )
+                self._finalize(execution)
+                return True
+        return False
+
+    def result(self, ticket: int) -> ServiceResult | None:
+        return self.results.get(ticket)
+
+    def warm(self, sqls) -> int:
+        """Pre-compile templates *outside* any execution epoch.
+
+        Warmed plans survive epoch teardown (their compile-time memory
+        sits below every epoch mark); plans compiled mid-epoch are
+        transient.  Returns the number of plans compiled."""
+        if self._epoch_mark is not None:
+            raise ReproError("warm() must be called while the service is idle")
+        before = self.db.plan_cache.misses
+        for sql in sqls:
+            self._compile(sql)
+        return self.db.plan_cache.misses - before
+
+    def drain(self) -> list[ServiceResult]:
+        """Run until queue and in-flight set are empty; quiesce afterwards.
+
+        Returns the results finalized during this call, in completion
+        order."""
+        order_before = len(self._order)
+        while True:
+            self._admit()
+            runnable = [
+                e for e in self.inflight.values() if not e.done and e.pending
+            ]
+            if not runnable:
+                if self.admission.empty():
+                    break
+                continue
+            execution = min(
+                runnable,
+                key=lambda e: (
+                    -e.priority, e.last_dispatch_step, e.query_id
+                ),
+            )
+            unit = execution.pending.pop(0)
+            self._step += 1
+            execution.last_dispatch_step = self._step
+            self._dispatch(execution, unit)
+        self._quiesce()
+        return self._order[order_before:]
+
+    def stats(self) -> dict:
+        out = {
+            "submitted": self._tickets,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "shed": self.admission.shed,
+            "epochs": self.epochs,
+            "workers": len(self.workers),
+            "worker_cycles": [w.state.cycles for w in self.workers],
+            "context_switches": sum(w.context_switches for w in self.workers),
+            "plan_cache": self.db.plan_cache.stats(),
+        }
+        if self.profiler is not None:
+            out["samples"] = self.profiler.samples_total
+            out["tag_accuracy"] = self.profiler.accuracy
+        return out
+
+    def workload_profile(self):
+        if self.profiler is None:
+            return None
+        return self.profiler.workload_profile()
+
+    # -- scheduling internals ------------------------------------------------
+
+    def _compile(self, sql: str):
+        return self.db.compiled_for(
+            sql,
+            profiler=self._profiler_config,
+            qualify_tags=self._profiler_config is not None,
+            count_tuples=(
+                self._profiler_config.count_tuples
+                if self._profiler_config is not None
+                else False
+            ),
+            flavor=self.config.plan_cache_flavor,
+        )
+
+    def _ensure_epoch(self) -> None:
+        if self._epoch_mark is None:
+            self._epoch_mark = self.db.memory.mark()
+            self._cache_watermark = self.db.plan_cache.serial
+            self.epochs += 1
+
+    def _admit(self) -> None:
+        while len(self.inflight) < self.config.max_inflight:
+            request = self.admission.poll()
+            if request is None:
+                return
+            self._ensure_epoch()
+            try:
+                compiled = self._compile(request.sql)
+            except ServiceError:
+                raise
+            except ReproError as exc:
+                error = ServiceError(COMPILE_ERROR, str(exc))
+                self._record_failed_request(request, error)
+                continue
+            state_bytes = compiled.query_ir.state.size_bytes
+            state_addr = self.db.memory.alloc(state_bytes, "serve_state")
+            self.db._zero_state(state_addr, state_bytes)
+            self._query_ids += 1
+            admit_tsc = min(w.state.cycles for w in self.workers)
+            execution = QueryExecution(
+                query_id=self._query_ids,
+                request=request,
+                compiled=compiled,
+                state_addr=state_addr,
+                admit_tsc=admit_tsc,
+                morsel_size=self.config.morsel_size,
+            )
+            self.inflight[execution.query_id] = execution
+
+    def _dispatch(self, execution: QueryExecution, unit: Unit) -> None:
+        worker = min(self.workers, key=lambda w: (w.state.cycles, w.index))
+        # lazy per-query barrier: wait (in simulated time) for the
+        # query's previous phase before starting this unit
+        worker.state.cycles = max(worker.state.cycles, execution.ready_tsc)
+        if (
+            execution.deadline_tsc is not None
+            and worker.state.cycles > execution.deadline_tsc
+        ):
+            execution.fail(ServiceError(
+                TIMEOUT,
+                f"query {execution.request.ticket} exceeded "
+                f"{execution.request.timeout_cycles} cycles before {unit!r}",
+            ))
+            self._finalize(execution)
+            return
+
+        machine = execution.machines.get(worker.index)
+        if machine is None:
+            pmu = (
+                self._profiler_config.pmu_config()
+                if self._profiler_config is not None
+                else None
+            )
+            machine = Machine(
+                execution.compiled.program,
+                self.db.memory,
+                pmu_config=pmu,
+                kernel=execution.compiled.kernel,
+                fast_vm=self.config.fast_vm,
+            )
+            execution.machines[worker.index] = machine
+        worker.bind(machine)
+        if self._profiler_config is not None:
+            # install the query-id half of the tag pair; compiled code
+            # only ever rewrites the task half (qualify_tags)
+            machine.set_query_tag(execution.query_id)
+
+        state = worker.state
+        start_cycles = state.cycles
+        start_instructions = state.instructions
+        start_loads = state.loads
+        start_stores = state.stores
+        sample_start = len(worker.samples.samples)
+        output_start = len(machine.output)
+        saved_budget = state.max_instructions
+        if execution.budget_left is not None:
+            state.max_instructions = state.instructions + execution.budget_left
+        entry, args = execution.unit_entry(unit)
+        error: ServiceError | None = None
+        try:
+            machine.call(entry, args)
+        except VMError as exc:
+            if "instruction budget" in str(exc):
+                error = ServiceError(
+                    INSTRUCTION_LIMIT,
+                    f"query {execution.request.ticket} exceeded its "
+                    f"instruction budget",
+                )
+            else:
+                error = ServiceError(EXEC_ERROR, str(exc))
+            # the aborted call leaves a dangling frame on this machine's
+            # private call stack; the machine is never reused after fail
+            machine.call_stack.clear()
+        finally:
+            state.max_instructions = saved_budget
+        worker.units_run += 1
+
+        used = state.instructions - start_instructions
+        execution.instructions += used
+        execution.loads += state.loads - start_loads
+        execution.stores += state.stores - start_stores
+        execution.busy_cycles += state.cycles - start_cycles
+        if execution.budget_left is not None:
+            execution.budget_left = max(0, execution.budget_left - used)
+        new_samples = worker.samples.samples[sample_start:]
+        for sample in new_samples:
+            execution.samples.append((worker.index, sample))
+        if self.profiler is not None and new_samples:
+            self.profiler.observe_unit(execution, new_samples)
+
+        if error is not None:
+            execution.fail(error)
+            self._finalize(execution)
+            return
+        if unit.kind == MORSEL:
+            execution.raw_morsels.append(
+                (unit.pipeline, unit.morsel, machine.output[output_start:])
+            )
+        end_tsc = state.cycles
+        if (
+            execution.deadline_tsc is not None
+            and end_tsc > execution.deadline_tsc
+        ):
+            execution.fail(ServiceError(
+                TIMEOUT,
+                f"query {execution.request.ticket} exceeded "
+                f"{execution.request.timeout_cycles} cycles",
+            ))
+            self._finalize(execution)
+            return
+        execution.unit_finished(unit, end_tsc, self.db)
+        if execution.status == DONE:
+            self._finalize(execution)
+
+    def _finalize(self, execution: QueryExecution) -> None:
+        request = execution.request
+        status = {
+            DONE: "ok", FAILED: "failed", EXEC_CANCELLED: "cancelled",
+        }[execution.status]
+        result = ServiceResult(
+            ticket=request.ticket,
+            query_id=execution.query_id,
+            session=request.session,
+            sql=request.sql,
+            status=status,
+            columns=[
+                name for name, _ in execution.compiled.physical.columns
+            ],
+            rows=execution.rows,
+            error=execution.error,
+            instructions=execution.instructions,
+            loads=execution.loads,
+            stores=execution.stores,
+            task_counts=dict(execution.task_counts),
+            latency_cycles=execution.latency_cycles,
+            busy_cycles=execution.busy_cycles,
+            samples=len(execution.samples),
+        )
+        self.results[request.ticket] = result
+        self._order.append(result)
+        self.inflight.pop(execution.query_id, None)
+        if status == "ok":
+            self.completed += 1
+            if self.profiler is not None:
+                self.profiler.complete_query(execution)
+        elif status == "cancelled":
+            self.cancelled += 1
+        else:
+            self.failed += 1
+
+    def _record_failed_request(
+        self, request: QueryRequest, error: ServiceError
+    ) -> None:
+        result = ServiceResult(
+            ticket=request.ticket,
+            query_id=0,
+            session=request.session,
+            sql=request.sql,
+            status="failed",
+            error=error,
+        )
+        self.results[request.ticket] = result
+        self._order.append(result)
+        self.failed += 1
+
+    def _record_cancelled(self, request: QueryRequest | None) -> None:
+        if request is None:
+            return
+        result = ServiceResult(
+            ticket=request.ticket,
+            query_id=0,
+            session=request.session,
+            sql=request.sql,
+            status="cancelled",
+            error=ServiceError(
+                CANCELLED, f"query {request.ticket} cancelled while queued"
+            ),
+        )
+        self.results[request.ticket] = result
+        self._order.append(result)
+        self.cancelled += 1
+
+    def _quiesce(self) -> None:
+        """Tear down the execution epoch once fully drained.
+
+        Worker machines hold stacks inside epoch memory, so they are
+        dropped (the PMU cursor survives in the worker); plans compiled
+        mid-epoch are evicted — their compile-time allocations die with
+        the epoch — while warmed plans persist."""
+        if self._epoch_mark is None:
+            return
+        if self.inflight or not self.admission.empty():
+            return
+        for worker in self.workers:
+            worker.unbind()
+        self.db.plan_cache.evict_since(self._cache_watermark)
+        self.db.memory.release(self._epoch_mark)
+        self._epoch_mark = None

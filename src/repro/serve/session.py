@@ -1,0 +1,81 @@
+"""Client sessions: named submission contexts with seeded determinism.
+
+A session is how a client talks to the service: it names the tenant in
+results and workload reports, owns a deterministic RNG (the synthetic
+workload generator draws from it, so a client's query sequence depends
+only on the session seed), and remembers its tickets.  Closing a session
+sheds its queued work and refuses further submissions.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.serve.errors import SESSION_CLOSED, ServiceError
+
+
+class Session:
+    """One client's submission context."""
+
+    def __init__(self, manager: "SessionManager", name: str, seed: int):
+        self._manager = manager
+        self.name = name
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.tickets: list[int] = []
+        self.closed = False
+
+    def submit(self, sql: str, **kwargs) -> int:
+        """Submit a query under this session; returns the ticket."""
+        if self.closed:
+            raise ServiceError(
+                SESSION_CLOSED, f"session {self.name!r} is closed"
+            )
+        ticket = self._manager.service.submit(sql, session=self, **kwargs)
+        return ticket
+
+    def close(self) -> None:
+        """Close the session: cancel queued work, refuse new submissions."""
+        if self.closed:
+            return
+        self.closed = True
+        for ticket in self.tickets:
+            self._manager.service.cancel(ticket)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<Session {self.name} seed={self.seed} {state}>"
+
+
+class SessionManager:
+    """The service's session registry.
+
+    Session seeds derive deterministically from the service seed and the
+    session name (CRC32, not ``hash()`` — the latter is salted per
+    process), so two service runs with the same seed hand every client
+    the same RNG stream.
+    """
+
+    def __init__(self, service, seed: int = 0):
+        self.service = service
+        self.seed = seed
+        self.sessions: dict[str, Session] = {}
+
+    def open(self, name: str, seed: int | None = None) -> Session:
+        existing = self.sessions.get(name)
+        if existing is not None and not existing.closed:
+            return existing
+        if seed is None:
+            seed = zlib.crc32(f"{self.seed}:{name}".encode())
+        session = Session(self, name, seed)
+        self.sessions[name] = session
+        return session
+
+    def close(self, name: str) -> None:
+        session = self.sessions.get(name)
+        if session is not None:
+            session.close()
+
+    def __len__(self) -> int:
+        return sum(1 for s in self.sessions.values() if not s.closed)

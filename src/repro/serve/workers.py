@@ -1,0 +1,75 @@
+"""Shared VM workers: one simulated core serving many in-flight queries.
+
+A :class:`Worker` owns the structures that belong to the *core* rather
+than to any single query: the cycle clock and counters
+(:class:`~repro.vm.machine.MachineState`), the cache hierarchy, the branch
+predictor, and the PEBS sample buffer.  Each in-flight query gets its own
+:class:`~repro.vm.machine.Machine` per worker (registers, stack, output
+rows — the *context*), and ``bind`` splices the worker's shared core state
+into whichever machine runs next.
+
+The PMU cursor (sample countdown, jitter LCG, external-IP rotor) lives in
+the machine, so ``bind`` transfers it across the context switch — the PMU
+stays armed *across queries*: the event countdown never resets at a query
+boundary, which is what makes the service's profiling continuous rather
+than per-query.
+"""
+
+from __future__ import annotations
+
+from repro.vm.branch import BranchPredictor
+from repro.vm.cache import CacheHierarchy
+from repro.vm.machine import Machine, MachineState
+from repro.vm.pmu import SampleBuffer
+
+
+class Worker:
+    """One simulated core shared by every in-flight query."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.state = MachineState()
+        self.caches = CacheHierarchy()
+        self.predictor = BranchPredictor()
+        self.samples = SampleBuffer()
+        self.current: Machine | None = None
+        # the armed PMU state carried between per-query machines; None
+        # until the first context switch (the first machine keeps its own
+        # freshly-armed countdown)
+        self._cursor: tuple[int, int, int] | None = None
+        self.units_run = 0
+        self.context_switches = 0
+
+    def bind(self, machine: Machine) -> None:
+        """Make ``machine`` the worker's running context.
+
+        Splices the shared core state into the machine and hands over the
+        live PMU cursor from the previously bound context."""
+        if machine is self.current:
+            return
+        if self.current is not None:
+            self._cursor = self.current.pmu_cursor()
+            self.context_switches += 1
+        machine.state = self.state
+        machine.caches = self.caches
+        machine.predictor = self.predictor
+        machine.samples = self.samples
+        if self._cursor is not None:
+            machine.restore_pmu_cursor(self._cursor)
+        self.current = machine
+
+    def unbind(self) -> None:
+        """Detach the current context, keeping the PMU cursor armed.
+
+        Called when an execution epoch ends and its machines (whose
+        stacks live in epoch memory) are dropped — the cursor survives so
+        the next epoch's first sample continues the same event stream."""
+        if self.current is not None:
+            self._cursor = self.current.pmu_cursor()
+            self.current = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Worker {self.index} cycles={self.state.cycles} "
+            f"units={self.units_run}>"
+        )

@@ -31,6 +31,15 @@ REG_SCRATCH = 13
 REG_TAG = 14
 REG_SP = 15
 
+# The tag register carries a (query-id, component-tag) pair when several
+# queries share the same compiled code on the same workers (repro.serve):
+# the low 32 bits hold the component tag written by ``settag`` lowering,
+# the high bits hold the query id installed by the scheduler at morsel
+# dispatch.  Single-query runs leave the high half zero, so the packing is
+# invisible to the classic profiling path.
+TAG_QUERY_SHIFT = 32
+TAG_TASK_MASK = (1 << TAG_QUERY_SHIFT) - 1
+
 
 class Opcode:
     """Opcode namespace; values are plain ints for dispatch speed."""

@@ -21,7 +21,15 @@ from repro.errors import VMError
 from repro.vm import costs
 from repro.vm.branch import BranchPredictor
 from repro.vm.cache import CacheHierarchy
-from repro.vm.isa import NUM_REGS, FunctionInfo, Opcode, Program
+from repro.vm.isa import (
+    NUM_REGS,
+    REG_TAG,
+    TAG_QUERY_SHIFT,
+    TAG_TASK_MASK,
+    FunctionInfo,
+    Opcode,
+    Program,
+)
 from repro.vm.memory import Memory
 from repro.vm.pmu import Event, PmuConfig, Sample, SampleBuffer
 
@@ -108,11 +116,46 @@ class Machine:
             from repro.vm.translate import translation_for
 
             event = pmu_config.event if pmu_config is not None else None
-            self._fast_blocks = translation_for(program, event).blocks
+            # armed translations may grow superblock trees up to this
+            # worst-case event bound: 1/8 of the period keeps the driver's
+            # admission check passing for ~7/8 of every sampling window
+            # (larger caps inflate the per-pass bound that gates loop
+            # re-entry and measure slower, not faster)
+            bound_cap = (
+                pmu_config.period >> 3 if pmu_config is not None else 0
+            )
+            self._fast_blocks = translation_for(
+                program, event, bound_cap
+            ).blocks
         stack_base = memory.alloc(STACK_BYTES, "stack")
         self.stack_base = stack_base
         self.stack_end = stack_base + STACK_BYTES
         self.regs[15] = self.stack_end  # stack grows downward
+
+    # ------------------------------------------------------------------
+    # concurrent serving (repro.serve)
+
+    def set_query_tag(self, query_id: int) -> None:
+        """Install ``query_id`` into the high half of the tag register.
+
+        The serve scheduler calls this on every morsel dispatch — the
+        context-switch half of query-qualified tagging.  Code compiled
+        with ``qualify_tags`` only ever rewrites the low (task) half, so
+        the pair survives any number of runtime calls."""
+        current = self.regs[REG_TAG]
+        task_half = current & TAG_TASK_MASK if isinstance(current, int) else 0
+        self.regs[REG_TAG] = (query_id << TAG_QUERY_SHIFT) | task_half
+
+    def pmu_cursor(self) -> tuple[int, int, int]:
+        """The live sampling state: (countdown, jitter LCG, external-IP rotor).
+
+        A serve worker transfers this between the per-query machines it
+        multiplexes, so the PMU stays armed *across* queries — the event
+        countdown never resets at a query boundary."""
+        return (self._countdown, self._jitter, self._external_ip_rotor)
+
+    def restore_pmu_cursor(self, cursor: tuple[int, int, int]) -> None:
+        self._countdown, self._jitter, self._external_ip_rotor = cursor
 
     # ------------------------------------------------------------------
     # sampling
@@ -247,14 +290,26 @@ class Machine:
         else:
             while ip >= 0:
                 b = get(ip)
-                if (
-                    b is not None
-                    and self._countdown > b[2]
-                    and state.instructions + b[1] <= state.max_instructions
-                ):
-                    ip = b[0](self, regs, words, state, caches, predictor)
-                else:
-                    ip = interp(ip, blocks)
+                if b is not None:
+                    if (
+                        self._countdown > b[2]
+                        and state.instructions + b[1]
+                        <= state.max_instructions
+                    ):
+                        ip = b[0](self, regs, words, state, caches, predictor)
+                        continue
+                    fb = b[3]
+                    if (
+                        fb is not None
+                        and self._countdown > fb[2]
+                        and state.instructions + fb[1]
+                        <= state.max_instructions
+                    ):
+                        ip = fb[0](
+                            self, regs, words, state, caches, predictor
+                        )
+                        continue
+                ip = interp(ip, blocks)
 
     def _interp(self, entry_ip: int, blocks) -> int:  # noqa: C901 - interpreter core
         """Interpret from ``entry_ip``; return -1 once the run completes.
@@ -312,13 +367,25 @@ class Machine:
         while True:
             if has_blocks:
                 blk = blocks_get(ip)
-                if (
-                    blk is not None
-                    and instructions + blk[1] <= max_instructions
-                    and (config is None or self._countdown > blk[2])
-                ):
-                    state.cycles, state.instructions = cycles, instructions
-                    return ip
+                if blk is not None:
+                    if (
+                        instructions + blk[1] <= max_instructions
+                        and (config is None or self._countdown > blk[2])
+                    ):
+                        state.cycles, state.instructions = (
+                            cycles, instructions
+                        )
+                        return ip
+                    fb = blk[3]
+                    if (
+                        fb is not None
+                        and instructions + fb[1] <= max_instructions
+                        and self._countdown > fb[2]
+                    ):
+                        state.cycles, state.instructions = (
+                            cycles, instructions
+                        )
+                        return ip
             try:
                 op, f1, f2, f3 = code[ip]
             except IndexError:

@@ -19,6 +19,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.vm import costs
+from repro.vm.isa import REG_TAG, TAG_QUERY_SHIFT
 
 
 class Event(enum.Enum):
@@ -83,6 +84,20 @@ class Sample:
     # *condition* was true (stable under BRZ/BRNZ layout inversion) — the
     # LBR-style payload profile-guided optimization consumes
     branch_taken: bool | None = None
+
+    @property
+    def tag_value(self) -> int | None:
+        """Raw (query-id, component-tag) pair captured in the tag register."""
+        if self.registers is None:
+            return None
+        value = self.registers[REG_TAG]
+        return value if isinstance(value, int) else None
+
+    @property
+    def query_id(self) -> int | None:
+        """The query-id half of the captured tag (0 outside repro.serve)."""
+        value = self.tag_value
+        return None if value is None else value >> TAG_QUERY_SHIFT
 
 
 @dataclass

@@ -27,17 +27,24 @@ bound check fails, the machine falls back to the interpreter for the rest
 of the sampling window (see ``Machine._run_fast``), which keeps sample
 streams bit-identical to pure interpretation.
 
-With the PMU unarmed there is no countdown to protect, so translation
-gets more aggressive: traces rooted at loop heads inline their side-exit
-continuations into superblock *trees* (bounded by ``_TREE_BUDGET`` and
-``_TREE_DEPTH``), and a branch back to the trace's own head closes the
-loop inside the compiled function — after re-checking the instruction
-budget exactly as the driver would — so hot loops run without returning
-to the dispatch loop at all.
+Translation gets more aggressive where the countdown allows it: traces
+rooted at loop heads inline their side-exit continuations into superblock
+*trees* (bounded by ``_TREE_BUDGET`` and ``_TREE_DEPTH``), and a branch
+back to the trace's own head closes the loop inside the compiled function
+— after re-checking the instruction budget (and, armed, the countdown)
+exactly as the driver would — so hot loops run without returning to the
+dispatch loop at all.  With the PMU unarmed there is no countdown to
+protect and trees grow to the instruction budget; armed, tree growth is
+additionally capped by ``bound_cap`` — a worst-case-event allowance
+derived from the sampling period (``period // 8``) — so the admission
+check still passes for almost the whole sampling window and coarse
+periods (like the serve path's always-on profiling) keep near-unarmed
+speed.
 
 Translations are cached on the Program object, keyed by the sampled event
-(the countdown bookkeeping is specialized per event), so the up-to-four
-morsel workers of one query share a single translation.
+and the armed bound cap (the countdown bookkeeping is specialized per
+event), so the up-to-four morsel workers of one query share a single
+translation.
 """
 
 from __future__ import annotations
@@ -62,10 +69,10 @@ _MODES = {
     Event.BRANCH_MISS: "brmiss",
 }
 
-# Superblock-tree growth limits for unarmed translations: total emitted
-# instructions per block function and inlining depth of side-exit
-# continuations.  Armed translations never grow trees — their worst-case
-# event bounds must stay small against the sampling countdown.
+# Superblock-tree growth limits: total emitted instructions per block
+# function and inlining depth of side-exit continuations.  Armed
+# translations additionally cap the tree's worst-case event bound at
+# ``bound_cap`` so it stays small against the sampling countdown.
 _TREE_BUDGET = 1536
 _TREE_DEPTH = 8
 
@@ -116,9 +123,15 @@ _KNOWN_OPS = (
 class Translation:
     """All compiled blocks of one program for one PMU event mode.
 
-    ``blocks`` maps a leader ip to ``(fn, n_instructions, event_bound)``;
-    ``fn(machine, regs, words, state, caches, predictor)`` executes the
-    block and returns the next ip (negative = the run is complete).
+    ``blocks`` maps a leader ip to ``(fn, n_instructions, event_bound,
+    fallback)``; ``fn(machine, regs, words, state, caches, predictor)``
+    executes the block and returns the next ip (negative = the run is
+    complete).  ``fallback`` is ``None``, or a linear
+    ``(fn, n_instructions, event_bound)`` variant of the same leader with
+    a much smaller bound: when the live countdown is too low to admit an
+    armed superblock tree, the driver runs the linear variant instead of
+    dropping all the way to the interpreter, so only the last few hundred
+    events before each sample interpret.
     """
 
     blocks: dict[int, tuple]
@@ -134,21 +147,29 @@ class Translation:
         )
 
 
-def translation_for(program: Program, event: Event | None) -> Translation:
-    """Return the (cached) translation of ``program`` for ``event``."""
+def translation_for(
+    program: Program, event: Event | None, bound_cap: int = 0
+) -> Translation:
+    """Return the (cached) translation of ``program`` for ``event``.
+
+    ``bound_cap`` is the armed tree-growth allowance in worst-case
+    countdown events (0 disables armed trees); unarmed translations
+    ignore it."""
     cache = getattr(program, "_vm_translations", None)
     if cache is None:
         cache = {}
         program._vm_translations = cache
-    key = event.name if event is not None else None
+    key = (event.name if event is not None else None, bound_cap)
     entry = cache.get(key)
     if entry is None or entry.stale_for(program):
-        entry = translate_program(program, event)
+        entry = translate_program(program, event, bound_cap)
         cache[key] = entry
     return entry
 
 
-def translate_program(program: Program, event: Event | None) -> Translation:
+def translate_program(
+    program: Program, event: Event | None, bound_cap: int = 0
+) -> Translation:
     """Decode ``program`` into basic blocks and compile each one.
 
     Beyond the classic leaders, the worklist also chains *continuation*
@@ -168,7 +189,7 @@ def translate_program(program: Program, event: Event | None) -> Translation:
     code = program.code
     leaders = block_leaders(program)
     chunks: list[str] = []
-    metas: list[tuple[int, int, int]] = []
+    metas: list[tuple[int, int, int, tuple | None]] = []
     done: set[int] = set()
     queue = sorted(leaders)
     while queue:
@@ -176,12 +197,23 @@ def translate_program(program: Program, event: Event | None) -> Translation:
         if start in done or not 0 <= start < len(code):
             continue
         done.add(start)
-        emitted = _emit_block(code, start, cap, mode)
+        emitted = _emit_block(code, start, cap, mode, bound_cap)
         if emitted is None:
             continue
         src, n_instr, bound, fallthroughs = emitted
         chunks.append(src)
-        metas.append((start, n_instr, bound))
+        fb_meta = None
+        if mode and bound_cap:
+            # the armed tree's bound keeps it out of the last stretch of
+            # every sampling window; give the driver a linear variant
+            # with a tight bound to run there instead of interpreting
+            linear = _emit_block(code, start, cap, mode, 0, suffix="f")
+            if linear is not None and linear[2] < bound:
+                lin_src, lin_n, lin_bound, lin_falls = linear
+                chunks.append(lin_src)
+                fb_meta = (lin_n, lin_bound)
+                fallthroughs = list(fallthroughs) + list(lin_falls)
+        metas.append((start, n_instr, bound, fb_meta))
         for ft in fallthroughs:
             if ft not in done:
                 queue.append(ft)
@@ -189,8 +221,15 @@ def translate_program(program: Program, event: Event | None) -> Translation:
     namespace: dict = {"VMError": VMError, "crc32_mix": _crc32_mix()}
     exec(compile(source, f"<fastvm:{mode or 'plain'}>", "exec"), namespace)
     blocks = {
-        start: (namespace[f"_b{start}"], n_instr, bound)
-        for start, n_instr, bound in metas
+        start: (
+            namespace[f"_b{start}"], n_instr, bound,
+            (
+                (namespace[f"_b{start}f"], fb_meta[0], fb_meta[1])
+                if fb_meta is not None
+                else None
+            ),
+        )
+        for start, n_instr, bound, fb_meta in metas
     }
     return Translation(
         blocks=blocks,
@@ -274,7 +313,7 @@ def _decode_trace(code: list[tuple], start: int, cap: int):
     return items, ip
 
 
-def _emit_block(code, start, cap, mode):
+def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
     """Emit the source of one block function; None if nothing translatable.
 
     Returns ``(source, max_path_instructions, event_bound,
@@ -283,14 +322,15 @@ def _emit_block(code, start, cap, mode):
     (size cap or untranslatable instruction), so :func:`translate_program`
     can chain continuation blocks there.
 
-    With the PMU armed the block is a single linear trace, keeping its
-    worst-case event bound tight.  Unarmed blocks have no countdown to
-    protect and may grow *superblock trees*: the continuation of a side
-    exit is decoded and inlined into the taken arm (up to a total budget),
-    so hot paths that zig-zag through taken branches — and loop cycles
-    that cross several trace heads before branching back to this block's
-    start — run inside one Python function instead of bouncing through
-    the driver.
+    Blocks rooted at loop heads may grow *superblock trees*: the
+    continuation of a side exit is decoded and inlined into the taken arm
+    (up to a total budget), so hot paths that zig-zag through taken
+    branches — and loop cycles that cross several trace heads before
+    branching back to this block's start — run inside one Python function
+    instead of bouncing through the driver.  Unarmed blocks grow to the
+    instruction budget; armed ones stop once the tree's worst-case event
+    bound would exceed ``bound_cap``, which keeps the driver's admission
+    check passing for almost the whole sampling window.
     """
     root_items, root_fall = _decode_trace(code, start, cap)
     if not root_items:
@@ -308,7 +348,8 @@ def _emit_block(code, start, cap, mode):
         )
         for _, ins in root_items
     )
-    tree = mode == "" and is_loop_head
+    bound = _event_bound(root_items, mode)
+    tree = is_loop_head and (mode == "" or bound < bound_cap)
     if tree:
         # inlined continuations can bring loads/branches anywhere, so the
         # dynamic-cycles accumulator is unconditional
@@ -320,8 +361,11 @@ def _emit_block(code, start, cap, mode):
             or ins[0] == Opcode.BRNZ
             for _, ins in root_items
         )
-    has_load_root = any(ins[0] == Opcode.LOAD for _, ins in root_items)
-    bound = _event_bound(root_items, mode)
+    # armed trees can inline loads into a load-free root, so the L1-miss
+    # accumulator must exist whenever an arm *could* bring one
+    track_l1 = mode == "l1" and (
+        tree or any(ins[0] == Opcode.LOAD for _, ins in root_items)
+    )
 
     # Registers are cached in Python locals (``r5`` for ``regs[5]``) for
     # the whole block: nothing outside the block can observe ``regs``
@@ -351,8 +395,10 @@ def _emit_block(code, start, cap, mode):
         """Inline the continuation at ``t`` into the current arm.
 
         Returns its emitted lines (at base indent), or None when trees
-        are disabled, the target closes a non-root cycle, or the growth
-        budget/depth is exhausted."""
+        are disabled, the target closes a non-root cycle, the growth
+        budget/depth is exhausted, or (armed) the continuation would push
+        the tree's worst-case event bound past ``bound_cap``."""
+        nonlocal bound
         if (
             not tree
             or depth >= _TREE_DEPTH
@@ -365,6 +411,11 @@ def _emit_block(code, start, cap, mode):
         )
         if not sub_items:
             return None
+        if mode:
+            sub_bound = _event_bound(sub_items, mode)
+            if bound + sub_bound > bound_cap:
+                return None
+            bound += sub_bound
         return emit_seq(
             sub_items, sub_fall, k, pend0, loads0, stores0,
             path | {t}, depth + 1,
@@ -440,7 +491,7 @@ def _emit_block(code, start, cap, mode):
                     lines.append(f"{indent}m._countdown -= {instr_events}")
                 elif mode == "loads" and loads_done:
                     lines.append(f"{indent}m._countdown -= {loads_done}")
-                elif mode == "l1" and has_load_root:
+                elif track_l1:
                     lines.append(f"{indent}m._countdown -= _mi")
 
         def emit_loop_edge(indent: str) -> None:
@@ -777,7 +828,7 @@ def _emit_block(code, start, cap, mode):
         # inside the function-level loop when one exists, so a back edge
         # resets the dynamic accumulators for the next iteration
         lines.append("    cy = 0")
-    if has_load_root and mode == "l1":
+    if track_l1:
         lines.append("    _mi = 0")
     lines += root_lines
 
@@ -809,7 +860,7 @@ def _emit_block(code, start, cap, mode):
             expanded.append(ln)
 
     head: list[str] = [
-        f"def _b{start}(m, regs, words, state, caches, predictor):"
+        f"def _b{start}{suffix}(m, regs, words, state, caches, predictor):"
     ]
     if flags["mem"]:
         # The L1 MRU-hit test is inlined at every memory op; anything else

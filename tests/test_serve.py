@@ -1,0 +1,327 @@
+"""Tests for the concurrent query service (repro.serve)."""
+
+import io
+
+import pytest
+
+from repro import Database
+from repro.__main__ import main
+from repro.pgo import ProfileStore
+from repro.serve import (
+    CANCELLED,
+    COMPILE_ERROR,
+    INSTRUCTION_LIMIT,
+    QUEUE_FULL,
+    SESSION_CLOSED,
+    TIMEOUT,
+    QueryService,
+    ServiceConfig,
+    ServiceError,
+    WorkloadItem,
+    load_workload,
+    run_workload,
+    synthetic_workload,
+)
+
+SQL_AGG = (
+    "SELECT category, SUM(price) FROM sales, products "
+    "WHERE sales.id = products.id GROUP BY category ORDER BY category"
+)
+SQL_COUNT = "SELECT COUNT(*) FROM sales WHERE price > 100.0"
+SQL_TOPK = (
+    "SELECT id, price FROM sales WHERE price > 450.0 ORDER BY price DESC"
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return Database.example(n_sales=2000, n_products=100)
+
+
+def make_service(db, **overrides):
+    defaults = dict(workers=4, max_inflight=8, morsel_size=97)
+    defaults.update(overrides)
+    return QueryService(db, ServiceConfig(**defaults))
+
+
+def invariant_signature(result):
+    """The interleaving-invariant per-query counters plus the rows."""
+    return (
+        result.instructions,
+        result.loads,
+        result.stores,
+        tuple(sorted(result.task_counts.items())),
+        tuple(result.rows or ()),
+    )
+
+
+# -- basic service behaviour ------------------------------------------------
+
+
+def test_service_matches_engine_rows(db):
+    service = make_service(db)
+    tickets = [service.submit(sql) for sql in (SQL_AGG, SQL_COUNT, SQL_TOPK)]
+    results = service.drain()
+    assert len(results) == 3
+    assert all(r.ok for r in results)
+    for ticket, sql in zip(tickets, (SQL_AGG, SQL_COUNT, SQL_TOPK)):
+        got = service.result(ticket)
+        assert got is not None and got.ok
+        assert got.rows == db.execute(sql).rows
+
+
+def test_empty_group_by_does_not_hang(db):
+    # an always-false predicate leaves the aggregation hash table empty,
+    # so the scan-groups pipeline prepares a zero-morsel domain; the
+    # phase machine must fall through to the next pipeline instead of
+    # leaving the execution in-flight forever
+    sql = (
+        "SELECT category, SUM(price) FROM sales, products "
+        "WHERE sales.id = products.id AND price < price "
+        "GROUP BY category ORDER BY category"
+    )
+    service = make_service(db)
+    ticket = service.submit(sql)
+    service.drain()
+    result = service.result(ticket)
+    assert result is not None and result.ok
+    assert result.rows == db.execute(sql).rows == []
+    assert not service.inflight
+
+
+def test_queue_full_sheds_with_stable_code(db):
+    service = make_service(db, max_queue=2)
+    service.submit(SQL_COUNT)
+    service.submit(SQL_COUNT)
+    with pytest.raises(ServiceError) as exc_info:
+        service.submit(SQL_COUNT)
+    assert exc_info.value.code == QUEUE_FULL
+    assert "[QUEUE_FULL]" in str(exc_info.value)
+    assert service.stats()["shed"] == 1
+    # the queued pair still runs to completion
+    results = service.drain()
+    assert [r.ok for r in results] == [True, True]
+
+
+def test_timed_out_query_releases_workers(db):
+    service = make_service(db)
+    doomed = service.submit(SQL_AGG, timeout_cycles=1_000)
+    healthy = [service.submit(SQL_COUNT) for _ in range(3)]
+    service.drain()
+    failed = service.result(doomed)
+    assert failed.status == "failed"
+    assert failed.error_code == TIMEOUT
+    for ticket in healthy:
+        assert service.result(ticket).ok
+    # workers are free again: a follow-up workload runs clean
+    assert not service.inflight
+    follow_up = service.submit(SQL_AGG)
+    service.drain()
+    assert service.result(follow_up).ok
+
+
+def test_cancel_queued_query(db):
+    service = make_service(db)
+    keep = service.submit(SQL_COUNT)
+    drop = service.submit(SQL_COUNT)
+    assert service.cancel(drop) is True
+    assert service.cancel(drop) is False  # already finalized
+    service.drain()
+    assert service.result(keep).ok
+    cancelled = service.result(drop)
+    assert cancelled.status == "cancelled"
+    assert cancelled.error_code == CANCELLED
+
+
+def test_closed_session_rejects_submissions(db):
+    service = make_service(db)
+    session = service.session("ephemeral")
+    session.close()
+    with pytest.raises(ServiceError) as exc_info:
+        session.submit(SQL_COUNT)
+    assert exc_info.value.code == SESSION_CLOSED
+    # opening the same name again hands out a fresh session (a reopen)
+    reopened = service.session("ephemeral")
+    assert reopened is not session and not reopened.closed
+
+
+def test_instruction_budget_fails_query(db):
+    service = make_service(db)
+    ticket = service.submit(SQL_AGG, max_instructions=50)
+    other = service.submit(SQL_COUNT)
+    service.drain()
+    assert service.result(ticket).error_code == INSTRUCTION_LIMIT
+    assert service.result(other).ok
+
+
+def test_compile_error_becomes_failed_result(db):
+    service = make_service(db)
+    ticket = service.submit("SELECT nonsense FROM nowhere")
+    service.drain()
+    result = service.result(ticket)
+    assert result.status == "failed"
+    assert result.error_code == COMPILE_ERROR
+
+
+# -- determinism and isolation ----------------------------------------------
+
+
+def _interleaved_run(fast_vm: bool):
+    database = Database.example(n_sales=1200, n_products=60)
+    service = QueryService(database, ServiceConfig(
+        workers=4, max_inflight=8, morsel_size=97, seed=7, fast_vm=fast_vm,
+    ))
+    items = synthetic_workload(service, queries=9, clients=3)
+    summary = run_workload(service, items)
+    assert summary.clean
+    return [
+        (
+            r.ticket, r.session, r.sql, r.status,
+            r.instructions, r.loads, r.stores,
+            tuple(sorted(r.task_counts.items())),
+            r.latency_cycles, r.busy_cycles, r.samples,
+            tuple(r.rows or ()),
+        )
+        for r in summary.results
+    ]
+
+
+@pytest.mark.parametrize("fast_vm", [True, False])
+def test_seeded_interleaving_is_deterministic(fast_vm):
+    first = _interleaved_run(fast_vm)
+    second = _interleaved_run(fast_vm)
+    assert first == second
+
+
+def test_fast_vm_matches_interpreter_exactly():
+    assert _interleaved_run(True) == _interleaved_run(False)
+
+
+def test_concurrent_counters_match_solo_run(db):
+    concurrent = make_service(db)
+    session_tickets = [
+        concurrent.session(f"client-{i}").submit(SQL_AGG) for i in range(8)
+    ]
+    concurrent.drain()
+    signatures = {
+        invariant_signature(concurrent.result(t)) for t in session_tickets
+    }
+    # 8 in-flight copies on 4 shared workers: per-query counters are
+    # bit-identical across instances...
+    assert len(signatures) == 1
+
+    solo = make_service(db, max_inflight=1)
+    ticket = solo.submit(SQL_AGG)
+    solo.drain()
+    # ...and identical to the same query run with nothing else in flight
+    assert invariant_signature(solo.result(ticket)) == signatures.pop()
+
+
+# -- continuous profiling ----------------------------------------------------
+
+
+def test_tag_accuracy_under_concurrency(db):
+    service = make_service(db)
+    items = synthetic_workload(service, queries=8, clients=4)
+    summary = run_workload(service, items)
+    assert summary.clean
+    stats = service.stats()
+    assert stats["samples"] > 0
+    assert stats["tag_accuracy"] >= 0.99
+    profile = service.workload_profile()
+    assert profile.accuracy >= 0.99
+    assert profile.queries == 8
+    assert profile.templates  # per-template operator costs aggregated
+    assert profile.latency_p95 >= profile.latency_p50 > 0
+
+
+def test_profiler_feeds_pgo_store(db):
+    store = ProfileStore()
+    service = QueryService(
+        db,
+        ServiceConfig(workers=2, max_inflight=2, morsel_size=128),
+        pgo_store=store,
+    )
+    ticket = service.submit(SQL_AGG)
+    service.drain()
+    assert service.result(ticket).ok
+    fingerprints = store.fingerprints()
+    assert len(fingerprints) == 1
+    assert store.feedback(fingerprints[0]).runs == 1
+
+
+def test_profiling_off_runs_clean(db):
+    service = make_service(db, profiling=False)
+    ticket = service.submit(SQL_AGG)
+    service.drain()
+    result = service.result(ticket)
+    assert result.ok
+    assert result.samples == 0
+    assert result.rows == db.execute(SQL_AGG).rows
+    assert service.workload_profile() is None
+
+
+def test_warmed_plans_survive_epochs(db):
+    service = make_service(db)
+    service.warm([SQL_COUNT])
+    hits_before = db.plan_cache.hits
+    for _ in range(3):
+        service.submit(SQL_COUNT)
+        service.drain()  # each drain tears down one epoch
+    assert service.stats()["epochs"] >= 3
+    assert db.plan_cache.hits >= hits_before + 3
+
+
+# -- workload files and CLI --------------------------------------------------
+
+
+def test_load_workload_jsonl(tmp_path):
+    path = tmp_path / "workload.jsonl"
+    path.write_text(
+        "# comment line\n"
+        '{"sql": "SELECT COUNT(*) FROM sales", "client": "a"}\n'
+        "\n"
+        '{"sql": "SELECT COUNT(*) FROM sales", "priority": 1}\n'
+    )
+    items = load_workload(path)
+    assert items == [
+        WorkloadItem(sql="SELECT COUNT(*) FROM sales", client="a"),
+        WorkloadItem(sql="SELECT COUNT(*) FROM sales", priority=1),
+    ]
+
+
+def test_run_workload_summary(db):
+    service = make_service(db)
+    items = [
+        WorkloadItem(sql=SQL_COUNT, client="a"),
+        WorkloadItem(sql="SELECT broken FROM nowhere", client="b"),
+    ]
+    summary = run_workload(service, items, warm=False)
+    assert summary.submitted == 2
+    assert summary.completed == 1
+    assert summary.failed == 1
+    assert not summary.clean
+
+
+def test_cli_serve_synthetic_report():
+    out = io.StringIO()
+    code = main(
+        ["serve", "--synthetic", "--queries", "6", "--clients", "2",
+         "--report", "--strict"],
+        out,
+    )
+    text = out.getvalue()
+    assert code == 0
+    assert "6 ok, 0 failed" in text
+    assert "tag accuracy" in text
+    assert "workload profile" in text or "template" in text
+
+
+def test_cli_serve_strict_fails_on_bad_query(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"sql": "SELECT broken FROM nowhere"}\n')
+    out = io.StringIO()
+    assert main(["serve", "--workload", str(path)], out) == 0
+    out = io.StringIO()
+    assert main(["serve", "--workload", str(path), "--strict"], out) == 1
+    assert "COMPILE_ERROR" in out.getvalue()

@@ -228,9 +228,11 @@ def test_translation_covers_loop_and_caches():
     program = build_program(LOOP_SUM)
     translation = translate_program(program, None)
     assert 0 in translation.blocks
-    # per-block metadata: worst-case instruction count and event bound
-    fn, max_k, bound = translation.blocks[0]
+    # per-block metadata: worst-case instruction count, event bound, and
+    # the (armed-only) linear fallback variant
+    fn, max_k, bound, fallback = translation.blocks[0]
     assert callable(fn) and max_k >= 1 and bound >= 0
+    assert fallback is None  # unarmed translations have no fallback
     # translations are cached per (program, event)
     m1 = Machine(program, Memory(1 << 20))
     m2 = Machine(program, Memory(1 << 20))
