@@ -13,6 +13,7 @@ from pathlib import Path
 from time import perf_counter
 
 from benchmarks.conftest import report
+from benchmarks._harness import geomean, interleaved_ratio
 
 from repro import Database
 from repro.serve import (
@@ -24,15 +25,19 @@ from repro.serve import (
 from repro.serve.profiler import percentile
 from repro.vmbench import append_trajectory
 
-# locally measured overhead is ~10% at the default period; the gate
-# enforces the paper-style 15% budget on the drift-cancelled median,
-# catching a real regression of the always-on sampling path
+# locally measured steady-state overhead is ~11% at the serve period;
+# the gate enforces the paper-style 15% budget on the drift-cancelled
+# median, catching a real regression of the always-on sampling path
 OVERHEAD_CEILING_PCT = 15.0
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
 QUERIES = 32
 CLIENTS = 4
-REPEATS = 5
+# steady-state per-round ratios still spread ~0.99-1.21 on a shared
+# machine even with drift cancellation; nine rounds keep the median
+# inside a few percent of the true ~1.11 where five rounds can land an
+# outlier pair in the middle slot
+REPEATS = 9
 
 
 def _build(profiling: bool):
@@ -42,6 +47,15 @@ def _build(profiling: bool):
     ))
     items = synthetic_workload(service, queries=QUERIES, clients=CLIENTS)
     service.warm(dict.fromkeys(item.sql for item in items))
+    # Two untimed warm-up rounds reach steady state before measurement:
+    # the first runs of each plan compile its fast-VM translation and
+    # cross the tiering controller's hotness threshold, and the tier-2
+    # recompile lands one commit point later.  Armed translations cost
+    # roughly twice the unarmed ones to compile (tree + linear-fallback
+    # variants per block), so timing the warm-up would charge a one-time
+    # compile asymmetry to the steady-state overhead gate.
+    run_workload(service, items, warm=False)
+    run_workload(service, items, warm=False)
     return service, items
 
 
@@ -69,33 +83,27 @@ def _describe(service, items, best) -> dict:
 
 
 def run_serve_bench() -> dict:
-    # the two configurations alternate within every round so slow machine
-    # drift (CI neighbours, thermal throttling) hits both sides equally;
-    # the overhead is the *median* of the per-round on/off ratios — each
-    # ratio is drift-cancelled, and the median discards transient spikes
-    # that min-of-N on independent sides would misalign
+    # drift-cancelled A/B (benchmarks._harness): the two configurations
+    # alternate within every round so slow machine drift hits both sides
+    # equally, and the overhead gate uses the median of per-round ratios
     service_on, items_on = _build(profiling=True)
     service_off, items_off = _build(profiling=False)
-    best_on = best_off = None
-    ratios = []
-    for _ in range(REPEATS):
-        timed_on = _run_once(service_on, items_on)
-        timed_off = _run_once(service_off, items_off)
-        ratios.append(timed_on[0] / timed_off[0])
-        if best_on is None or timed_on[0] < best_on[0]:
-            best_on = timed_on
-        if best_off is None or timed_off[0] < best_off[0]:
-            best_off = timed_off
-    on = _describe(service_on, items_on, best_on)
-    off = _describe(service_off, items_off, best_off)
-    overhead_pct = (sorted(ratios)[len(ratios) // 2] - 1.0) * 100
+    estimate = interleaved_ratio(
+        lambda: _run_once(service_on, items_on),
+        lambda: _run_once(service_off, items_off),
+        REPEATS,
+    )
+    on = _describe(service_on, items_on, estimate.best_a)
+    off = _describe(service_off, items_off, estimate.best_b)
+    overhead_pct = (estimate.median_ratio - 1.0) * 100
     return {
         "queries": QUERIES,
         "clients": CLIENTS,
         "workers": 4,
         "profiling_on": on,
         "profiling_off": off,
-        "round_ratios": [round(r, 4) for r in ratios],
+        "round_ratios": [round(r, 4) for r in estimate.ratios],
+        "ratio_geomean": round(geomean(estimate.ratios), 4),
         "overhead_pct": round(overhead_pct, 2),
     }
 
@@ -116,6 +124,8 @@ def format_table(record: dict) -> str:
         f"tag accuracy {on['tag_accuracy']:.4f}, "
         f"throughput overhead {record['overhead_pct']:+.2f}% "
         f"(ceiling {OVERHEAD_CEILING_PCT:.0f}%)",
+        f"round-ratio geomean {record.get('ratio_geomean', 1.0):.4f} "
+        f"over {len(record['round_ratios'])} interleaved rounds",
     ]
     return "\n".join(lines)
 

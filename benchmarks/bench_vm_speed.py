@@ -1,11 +1,13 @@
-"""Fast-VM speed: template-translated blocks vs the block interpreter.
+"""Fast-VM speed: translated blocks and specialized traces vs interpreter.
 
 The tentpole claim is a >=3x geometric-mean speedup on TPC-H with
 profiling off while staying bit-identical to the interpreter (parity is
-asserted inside ``run_vm_bench`` — rows and simulated counters).  The CI
-gate uses a deliberately lower floor so scheduler noise on shared runners
-cannot flake the build; the measured trajectory is what ``BENCH_vm.json``
-tracks run over run.
+asserted inside ``run_vm_bench`` — rows and simulated counters).  On top
+of that, tier-2 profile-specialized traces must beat tier 1 on the
+profile-stable queries whose hot loops the rolling profile marks for
+deferred sync.  Both CI gates use deliberately lower floors so scheduler
+noise on shared runners cannot flake the build; the measured trajectory
+is what ``BENCH_vm.json`` tracks run over run.
 """
 
 from pathlib import Path
@@ -14,26 +16,53 @@ from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, report
 
 from repro.vmbench import append_trajectory, format_table, run_vm_bench
 
-# locally measured geomean is ~3.4x across all 22 queries; the gate floor
-# leaves headroom for noisy CI runners while still catching any real
-# regression of the translated engine
+# locally measured geomean is ~3.6x on the benchmarked queries; the gate
+# floor leaves headroom for noisy CI runners while still catching any
+# real regression of the translated engine
 SPEEDUP_FLOOR = 2.0
+# tier 2 over tier 1 on the profile-stable subset: locally 1.15-1.19x
+# (1.4-1.6x on q6, every stable query >= 1.05x).  The gate floor sits
+# below the local readings because the t2/t1 delta is tens of percent,
+# not multiples — even the drift-cancelled median-of-ratios estimator
+# keeps a few percent of residual noise.
+TIERED_STABLE_FLOOR = 1.10
 TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_vm.json"
 
 
+# one benchmark run feeds both gates; the CI jobs select one gate each
+# (-k), so the run happens once per job, and a full local invocation of
+# this file measures once and asserts twice
+_CACHE: dict = {}
+
+
+def _measured_record(benchmark):
+    if "record" not in _CACHE:
+        _CACHE["record"] = benchmark.pedantic(
+            lambda: run_vm_bench(
+                scale=BENCH_SCALE, seed=BENCH_SEED, repeats=2
+            ),
+            rounds=1, iterations=1,
+        )
+        report(
+            "Fast-VM speedup (translated blocks vs interpreter)",
+            format_table(_CACHE["record"]),
+        )
+        append_trajectory(_CACHE["record"], TRAJECTORY_PATH)
+    return _CACHE["record"]
+
+
 def test_vm_speedup_floor(benchmark):
-    record = benchmark.pedantic(
-        lambda: run_vm_bench(
-            scale=BENCH_SCALE, seed=BENCH_SEED, repeats=2
-        ),
-        rounds=1, iterations=1,
-    )
-    report(
-        "Fast-VM speedup (translated blocks vs interpreter)",
-        format_table(record),
-    )
-    append_trajectory(record, TRAJECTORY_PATH)
+    record = _measured_record(benchmark)
     assert record["geomean_speedup"] >= SPEEDUP_FLOOR, (
         f"fast VM geomean {record['geomean_speedup']:.2f}x is below the "
         f"{SPEEDUP_FLOOR:.1f}x floor"
+    )
+
+
+def test_tiered_speedup_floor(benchmark):
+    record = _measured_record(benchmark)
+    tiered = record["tiered_stable_geomean_speedup"]
+    assert tiered >= TIERED_STABLE_FLOOR, (
+        f"tier-2 geomean {tiered:.3f}x on the profile-stable subset is "
+        f"below the {TIERED_STABLE_FLOOR:.2f}x floor"
     )

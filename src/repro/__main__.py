@@ -84,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-rows", type=int, default=20, help="result rows to print"
     )
     _add_fast_vm_flag(parser)
+    parser.add_argument(
+        "--tiering", action=argparse.BooleanOptionalAction, default=False,
+        help="warm the query past the tier-2 promotion threshold and "
+             "execute it on profile-specialized traces (docs/TIERING.md); "
+             "results and counters are identical to every other tier",
+    )
     return parser
 
 
@@ -140,14 +146,35 @@ def _run(args, sql: str, out) -> int:
         return 0
 
     fast_vm = args.fast_vm
+    tiering = None
+    if args.tiering:
+        from repro.vm.tiering import TieringController
+
+        # a one-shot run would finish before the default threshold ever
+        # trips, so the CLI warms with a floor-level controller: the
+        # warm run promotes, the reported run executes specialized
+        tiering = TieringController(hot_instructions=1)
     if not args.profile:
-        result = database.execute(sql, workers=args.workers, fast_vm=fast_vm)
+        if tiering is not None:
+            database.execute(
+                sql, workers=args.workers, fast_vm=fast_vm, tiering=tiering
+            )
+        result = database.execute(
+            sql, workers=args.workers, fast_vm=fast_vm, tiering=tiering
+        )
         _print_result(result, args.max_rows, out)
+        if tiering is not None:
+            print(f"executed at tier {result.tier}", file=out)
         return 0
 
     config = ProfilerConfig(mode=ProfilingMode(args.mode), period=args.period)
+    if tiering is not None:
+        database.profile(
+            sql, config, workers=args.workers, fast_vm=fast_vm,
+            tiering=tiering,
+        )
     profile = database.profile(
-        sql, config, workers=args.workers, fast_vm=fast_vm
+        sql, config, workers=args.workers, fast_vm=fast_vm, tiering=tiering
     )
     _print_result(profile.result, args.max_rows, out)
     print(file=out)
@@ -513,6 +540,11 @@ def _serve_main(argv: list[str], out) -> int:
         help="exit non-zero when any query failed or was shed",
     )
     _add_fast_vm_flag(parser)
+    parser.add_argument(
+        "--tiering", action=argparse.BooleanOptionalAction, default=True,
+        help="promote hot programs to tier-2 profile-specialized traces "
+             "at morsel boundaries (default; see docs/TIERING.md)",
+    )
     args = parser.parse_args(argv)
     if args.tpch and args.synthetic:
         parser.error(
@@ -540,6 +572,7 @@ def _serve_main(argv: list[str], out) -> int:
         period=args.period,
         fast_vm=args.fast_vm,
         seed=args.seed,
+        tiering=args.tiering,
     )
     service = QueryService(database, config, pgo_store=store)
     try:
@@ -570,6 +603,14 @@ def _serve_main(argv: list[str], out) -> int:
         f"{stats['context_switches']} context switches",
         file=out,
     )
+    if "tiering" in stats:
+        tiering = stats["tiering"]
+        print(
+            f"tiering: {tiering['promotions']} promotion(s), "
+            f"{tiering['hot_programs']} hot program(s), "
+            f"{tiering['deopts']} deopt(s)",
+            file=out,
+        )
     if service.profiler is not None:
         print(
             f"profiling: {stats['samples']} samples, "

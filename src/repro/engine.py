@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 import datetime
 import enum
+import warnings
 from dataclasses import dataclass, field
 
 from repro.backend import BackendOptions, compile_module
@@ -91,12 +92,19 @@ class ProfilerConfig:
 
 @dataclass
 class QueryResult:
-    """Decoded rows plus execution statistics."""
+    """Decoded rows plus execution statistics.
+
+    ``tier`` is the *effective* execution tier the run reached: 0 the
+    pure interpreter (fast VM off or auto-disabled), 1 the template-
+    translated fast VM, 2 a profile-specialized tier-2 trace ran for at
+    least one worker.  Benchmarks check it so an auto-disable can never
+    silently measure the wrong engine."""
 
     columns: list[str]
     rows: list[tuple]
     cycles: int
     instructions: int
+    tier: int = 1
 
     def __iter__(self):
         return iter(self.rows)
@@ -175,6 +183,24 @@ class Database:
         # PGO path, and every serve session (repro.plancache)
         self.pgo_store = None
         self.plan_cache = PlanCache()
+        # the tier-2 promotion controller (see enable_tiering)
+        self.tiering = None
+
+    def enable_tiering(self, hot_instructions: int | None = None,
+                       guard_hook: bool = False):
+        """Turn on tiered adaptive execution for this database.
+
+        Repeated executions of the same (cached) plan accumulate a
+        hotness profile; hot programs are recompiled as tier-2
+        specialized traces (see :mod:`repro.vm.tiering` and
+        docs/TIERING.md).  Returns the controller."""
+        from repro.vm.tiering import TieringController
+
+        if self.tiering is None:
+            self.tiering = TieringController(
+                hot_instructions=hot_instructions, guard_hook=guard_hook
+            )
+        return self.tiering
 
     @property
     def plan_cache_hits(self) -> int:
@@ -522,12 +548,17 @@ class Database:
         repeats: int = 1,
         instruction_limit: int | None = None,
         fast_vm: bool = True,
+        tiering=None,
     ):
         """Run a compiled query; returns ``(machines, rows, task_counts)``.
 
         All run-time memory (worker stacks, query state, kernel
         allocations) is released afterwards, so a cached plan can run any
-        number of times without growing the bump allocator."""
+        number of times without growing the bump allocator.  ``tiering``
+        is an optional :class:`~repro.vm.tiering.TieringController`: the
+        machines start at the tier it has already decided for this
+        program, and the run's retired instructions feed back into its
+        hotness profile afterwards."""
         if workers < 1:
             raise ReproError("workers must be >= 1")
         if repeats < 1:
@@ -542,6 +573,7 @@ class Database:
                 Machine(
                     compiled.program, self.memory, pmu_config=pmu,
                     kernel=compiled.kernel, fast_vm=fast_vm,
+                    tiering=tiering,
                 )
                 for _ in range(workers)
             ]
@@ -570,6 +602,12 @@ class Database:
                 self._decode_row(raw, compiled.physical.columns)
                 for raw in output
             ]
+            if tiering is not None:
+                for machine in machines:
+                    # snapshot the tier this run actually executed at
+                    # before observation possibly promotes the machine
+                    machine.ran_tier = machine.tier
+                    tiering.observe(machine, machine.state.instructions)
             return machines, rows, task_counts
         finally:
             self.memory.release(mark)
@@ -591,6 +629,7 @@ class Database:
         inject_fault: str | None = None,
         instruction_limit: int | None = None,
         fast_vm: bool = True,
+        tiering=None,
     ):
         """One-shot compile + run + full memory release (the non-cached
         path); returns ``(compiled, machines, rows, task_counts)``."""
@@ -605,6 +644,7 @@ class Database:
             machines, rows, task_counts = self._run_compiled(
                 compiled, profiler, workers, morsel_size, repeats,
                 instruction_limit=instruction_limit, fast_vm=fast_vm,
+                tiering=tiering,
             )
             return compiled, machines, rows, task_counts
         finally:
@@ -709,6 +749,7 @@ class Database:
             rows=rows,
             cycles=max(m.state.cycles for m in machines),
             instructions=sum(m.state.instructions for m in machines),
+            tier=max(getattr(m, "ran_tier", m.tier) for m in machines),
         )
 
     def execute(
@@ -723,6 +764,7 @@ class Database:
         inject_fault: str | None = None,
         instruction_limit: int | None = None,
         fast_vm: bool = True,
+        tiering=None,
     ) -> QueryResult:
         """Compile and run a query; returns decoded rows.
 
@@ -740,7 +782,11 @@ class Database:
         both are testing knobs, never set in normal operation.
         ``fast_vm=False`` forces the block interpreter; faults are always
         executed interpreted so the injected miscompile is observed
-        instruction-by-instruction."""
+        instruction-by-instruction.  ``tiering`` overrides the database's
+        promotion controller for this call (``None`` uses
+        ``self.tiering``, i.e. whatever :meth:`enable_tiering` set up)."""
+        if tiering is None:
+            tiering = self.tiering
         if pgo:
             if inject_fault is not None:
                 raise ReproError("inject_fault is not supported with pgo=True")
@@ -750,6 +796,13 @@ class Database:
             )
         if inject_fault is not None:
             # deliberately damaged compiles never enter the plan cache
+            if fast_vm:
+                warnings.warn(
+                    "inject_fault forces the tier-0 interpreter; "
+                    "fast_vm=True is ignored for this query",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             fast_vm = False
             compiled, machines, rows, _ = self._compile_and_run(
                 sql, None, join_order_hint, planner_options, workers=workers,
@@ -766,7 +819,10 @@ class Database:
         machines, rows, _ = self._run_compiled(
             compiled, None, workers=workers, morsel_size=morsel_size,
             instruction_limit=instruction_limit, fast_vm=fast_vm,
+            tiering=tiering,
         )
+        if tiering is not None and tiering.tier_for(compiled.program) >= 2:
+            self.plan_cache.supersede_compiled(compiled, tier=2)
         return self._result(compiled.physical, machines, rows)
 
     # -- profile-guided optimization (repro.pgo) -----------------------------
@@ -859,6 +915,7 @@ class Database:
         repeats: int = 1,
         pgo: bool = False,
         fast_vm: bool = True,
+        tiering=None,
     ) -> Profile:
         """Run a query with the PMU armed; returns a Profile for reports.
 
@@ -882,6 +939,7 @@ class Database:
             sql, config, join_order_hint, planner_options, workers=workers,
             repeats=repeats, feedback=feedback,
             count_tuples=config.count_tuples, fast_vm=fast_vm,
+            tiering=tiering if tiering is not None else self.tiering,
         )
         profile = self._build_profile(
             config, compiled, machines, rows, task_counts

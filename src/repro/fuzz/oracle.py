@@ -4,9 +4,12 @@ One query, many executors: the compiled backend single- and multi-worker
 (on the template-translated fast VM), the same program on the block
 interpreter (``fast_vm=False``), the reference interpreter, the
 unoptimized backend, groupjoin fusion, join-order-hint permutations, the
-PGO path (profile, cold execute, warm plan-cache execute), and the
-concurrent query service (8 in-flight copies sharing 4 workers, checked
-for per-query counter isolation against a single-query run).  All of
+PGO path (profile, cold execute, warm plan-cache execute), tiered
+execution (warmed past the promotion threshold so the query runs on
+tier-2 profile-specialized traces), and the concurrent query service
+(8 in-flight copies sharing 4 workers, checked for per-query counter
+isolation against a single-query run — once with the default tiering
+threshold and once with promotion forced mid-workload).  All of
 them must agree on the result bag —
 with ordered-prefix semantics when the query carries ORDER BY, and
 relative float tolerance for aggregate arithmetic whose evaluation order
@@ -21,7 +24,11 @@ Beyond result bags, the oracle holds the fast VM to a stronger contract:
 with the PMU armed, the translated engine must reproduce the interpreter's
 machine state bit-for-bit — instruction/cycle/load/store counters, cache
 and branch-predictor statistics, and the full PMU sample stream (ip, tsc,
-branch_taken, memaddr per sample).  Any divergence is a disagreement.
+branch_taken, memaddr per sample).  Tier-2 traces are held to the same
+bit-exact contract twice: once running specialized to completion, and
+once with the forced-deopt guard tripped so the very first specialized
+loop edge flushes its deferred state and demotes back to tier 1
+mid-query.  Any divergence is a disagreement.
 """
 
 from __future__ import annotations
@@ -222,6 +229,8 @@ class DifferentialOracle:
                 ),
             ),
         ]
+        if fault is None:
+            runs.append(("tiered", lambda: self._tiered_execute(sql)))
         if len(aliases) > 1:
             hints = list(itertools.permutations(aliases))[: self.max_hints]
             for i, hint in enumerate(hints):
@@ -237,8 +246,24 @@ class DifferentialOracle:
         if self.check_pgo and fault is None:
             outcomes.extend(self._pgo_outcomes(sql))
         if self.check_serve and fault is None:
-            outcomes.append(self._serve_outcome(sql))
+            outcomes.append(self._serve_outcome(sql, "serve-concurrent"))
+            # same isolation contract, but with tier-2 promotion forced
+            # mid-workload: some of the 8 in-flight copies run tier 1,
+            # later ones tier 2, and the counters must not notice
+            outcomes.append(self._serve_outcome(
+                sql, "serve-tiered", tiering_hot_instructions=1,
+            ))
         return outcomes
+
+    def _tiered_execute(self, sql: str):
+        """Execute on tier-2 traces: warm past the promotion threshold,
+        then run again so the measured execution starts specialized."""
+        from repro.vm.tiering import TieringController
+
+        tiering = TieringController(hot_instructions=1)
+        limit = self.instruction_limit
+        self.db.execute(sql, instruction_limit=limit, tiering=tiering)
+        return self.db.execute(sql, instruction_limit=limit, tiering=tiering)
 
     def _pgo_outcomes(self, sql: str) -> list[Outcome]:
         """Profile-feedback compiles: sampled run, cold plan, warm cache."""
@@ -256,20 +281,26 @@ class DifferentialOracle:
             db.pgo_store = saved_store
             db.plan_cache.clear()
 
-    def _serve_outcome(self, sql: str) -> Outcome:
+    def _serve_outcome(
+        self, sql: str, config: str,
+        tiering_hot_instructions: int | None = None,
+    ) -> Outcome:
         """The concurrent query service: 8 in-flight copies on 4 workers.
 
         The service's per-query counters (instructions, loads, stores,
         tuple counters) and rows must be *interleaving-invariant*: all 8
         concurrent instances must report bit-identical values, and those
         values must match a single-query run of the same service config.
+        With ``tiering_hot_instructions`` at the floor the copies promote
+        to tier 2 mid-workload at different points, which must also be
+        invisible in the signatures — tier choice is wall-clock only.
         Any isolation breach is folded into an "error" outcome so the
         generic kind comparison flags it against the rows reference."""
         from repro.serve import QueryService, ServiceConfig
 
-        config = "serve-concurrent"
         service_config = ServiceConfig(
             workers=4, max_inflight=8, morsel_size=97, profiling=True,
+            tiering_hot_instructions=tiering_hot_instructions,
         )
         limit = self.instruction_limit
 
@@ -343,19 +374,29 @@ class DifferentialOracle:
             )
         return Outcome(config, "rows", rows=list(concurrent[0].rows))
 
-    def _vm_signature(self, sql: str, fast_vm: bool) -> Outcome:
+    def _vm_signature(
+        self, sql: str, fast_vm: bool, config: str, tiering=None,
+    ) -> Outcome:
         """Profile once and fold the complete machine state into rows.
 
         The "rows" of this outcome are the counter tuple followed by every
         PMU sample, so the generic bag comparison would be useless — the
-        caller compares signatures for exact equality instead."""
+        caller compares signatures for exact equality instead.  With a
+        ``tiering`` controller an extra warm run first drives the program
+        past the promotion threshold, so the signed run executes tier-2
+        traces (or trips their deopt guard, if the controller is armed)."""
         from repro.engine import ProfilerConfig
 
-        config = "vm-parity[fast]" if fast_vm else "vm-parity[interp]"
+        profiler_config = ProfilerConfig(record_memaddr=True)
         try:
+            if tiering is not None:
+                self.db.profile(
+                    sql, config=profiler_config, fast_vm=fast_vm,
+                    tiering=tiering,
+                )
             profile = self.db.profile(
-                sql, config=ProfilerConfig(record_memaddr=True),
-                fast_vm=fast_vm,
+                sql, config=profiler_config, fast_vm=fast_vm,
+                tiering=tiering,
             )
         except PlanError as exc:
             return Outcome(config, "error", error=f"PlanError: {exc}")
@@ -376,25 +417,47 @@ class DifferentialOracle:
         return Outcome(config, "rows", rows=signature)
 
     def _vm_parity(self, sql: str) -> list[Disagreement]:
-        """The fast VM must be bit-identical to the interpreter under an
-        armed PMU: counters, cache/predictor state, and sample streams."""
-        fast = self._vm_signature(sql, fast_vm=True)
-        slow = self._vm_signature(sql, fast_vm=False)
-        if fast.kind != slow.kind:
-            return [Disagreement(
-                fast.config, slow, fast,
-                reason=f"interpreter {slow.kind} vs fast VM {fast.kind}",
-            )]
-        if fast.kind == "error" and fast.error != slow.error:
-            return [Disagreement(
-                fast.config, slow, fast, reason="error text differs",
-            )]
-        if fast.kind == "rows" and fast.rows != slow.rows:
-            return [Disagreement(
-                fast.config, slow, fast,
-                reason="machine counters or PMU sample stream differ",
-            )]
-        return []
+        """Every execution tier must be bit-identical to the interpreter
+        under an armed PMU: counters, cache/predictor state, and sample
+        streams.  Tier 2 is checked twice — running specialized to
+        completion, and with the forced-deopt guard tripped so the first
+        specialized loop edge flushes and demotes mid-query."""
+        from repro.vm.tiering import TieringController
+
+        slow = self._vm_signature(sql, False, "vm-parity[interp]")
+        candidates = [
+            self._vm_signature(sql, True, "vm-parity[fast]"),
+            self._vm_signature(
+                sql, True, "vm-parity[tiered]",
+                tiering=TieringController(hot_instructions=1),
+            ),
+            self._vm_signature(
+                sql, True, "vm-parity[deopt]",
+                tiering=TieringController(
+                    hot_instructions=1, guard_hook=True, trip_guard=True,
+                ),
+            ),
+        ]
+        disagreements = []
+        for fast in candidates:
+            if fast.kind != slow.kind:
+                disagreements.append(Disagreement(
+                    fast.config, slow, fast,
+                    reason=(
+                        f"interpreter {slow.kind} vs "
+                        f"{fast.config} {fast.kind}"
+                    ),
+                ))
+            elif fast.kind == "error" and fast.error != slow.error:
+                disagreements.append(Disagreement(
+                    fast.config, slow, fast, reason="error text differs",
+                ))
+            elif fast.kind == "rows" and fast.rows != slow.rows:
+                disagreements.append(Disagreement(
+                    fast.config, slow, fast,
+                    reason="machine counters or PMU sample stream differ",
+                ))
+        return disagreements
 
     # -- comparison ----------------------------------------------------------
 

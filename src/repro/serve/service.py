@@ -64,6 +64,15 @@ class ServiceConfig:
     fast_vm: bool = True
     plan_cache_flavor: str = "serve"
     seed: int = 0
+    # adaptive tiered execution (repro.vm.tiering): hot programs are
+    # recompiled as profile-specialized tier-2 traces; re-tiering commits
+    # at unit dispatch, i.e. morsel boundaries.  Pure wall-clock: tier
+    # choice never changes rows, counters, or sample streams.
+    tiering: bool = True
+    # hotness threshold override for the controller; None keeps the
+    # default (costs.TIER2_HOT_INSTRUCTIONS).  Tests and the fuzz oracle
+    # set a floor-level value so promotion happens inside short workloads.
+    tiering_hot_instructions: int | None = None
 
 
 @dataclass
@@ -87,6 +96,8 @@ class ServiceResult:
     latency_cycles: int = 0
     busy_cycles: int = 0
     samples: int = 0
+    # highest execution tier any of the query's machines ran at
+    tier: int = 0
 
     @property
     def ok(self) -> bool:
@@ -123,6 +134,14 @@ class QueryService:
         else:
             self._profiler_config = None
             self.profiler = None
+        if self.config.tiering and self.config.fast_vm:
+            from repro.vm.tiering import TieringController
+
+            self.tiering = TieringController(
+                hot_instructions=self.config.tiering_hot_instructions
+            )
+        else:
+            self.tiering = None
         self.inflight: dict[int, QueryExecution] = {}
         self.results: dict[int, ServiceResult] = {}
         self._order: list[ServiceResult] = []
@@ -256,6 +275,8 @@ class QueryService:
         if self.profiler is not None:
             out["samples"] = self.profiler.samples_total
             out["tag_accuracy"] = self.profiler.accuracy
+        if self.tiering is not None:
+            out["tiering"] = self.tiering.stats()
         return out
 
     def workload_profile(self):
@@ -343,8 +364,14 @@ class QueryService:
                 pmu_config=pmu,
                 kernel=execution.compiled.kernel,
                 fast_vm=self.config.fast_vm,
+                tiering=self.tiering,
             )
             execution.machines[worker.index] = machine
+        elif self.tiering is not None:
+            # unit dispatch = morsel boundary: the commit point where an
+            # in-flight query picks up a promotion that landed since its
+            # machine last ran (never mid-block)
+            self.tiering.apply(machine)
         worker.bind(machine)
         if self._profiler_config is not None:
             # install the query-id half of the tag pair; compiled code
@@ -382,6 +409,11 @@ class QueryService:
         worker.units_run += 1
 
         used = state.instructions - start_instructions
+        if self.tiering is not None and machine.tier >= 1:
+            if self.tiering.observe(machine, used):
+                self.db.plan_cache.supersede_compiled(
+                    execution.compiled, tier=2
+                )
         execution.instructions += used
         execution.loads += state.loads - start_loads
         execution.stores += state.stores - start_stores
@@ -441,6 +473,9 @@ class QueryService:
             latency_cycles=execution.latency_cycles,
             busy_cycles=execution.busy_cycles,
             samples=len(execution.samples),
+            tier=max(
+                (m.tier for m in execution.machines.values()), default=0
+            ),
         )
         self.results[request.ticket] = result
         self._order.append(result)

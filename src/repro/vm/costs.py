@@ -80,6 +80,25 @@ FAST_VM_MAX_BLOCK = 48  # cap so worst-case block bounds stay << period
 # hot loops (the instruction-budget check stays conservative either way)
 FAST_VM_MAX_BLOCK_PLAIN = 512
 
+# --- tiered adaptive execution (repro.vm.tiering) ------------------------
+#
+# Tier 2 recompiles hot programs with profile-specialized traces: deferred
+# counter/register sync (flushed only at real exits and guard misses),
+# branch-direction fast paths from the rolling predictor snapshot, and
+# larger superblock trees.  Promotion triggers once a program has retired
+# this many simulated instructions under observation; the larger tree
+# limits apply only to tier-2 translations, whose compile time is paid
+# exclusively for regions the profile already proved hot.
+
+TIER2_HOT_INSTRUCTIONS = 200_000
+TIER2_TREE_BUDGET = 6144
+TIER2_TREE_DEPTH = 16
+# A block the profile saw entered at least this often is "hot" even when
+# it is not a loop head — typically one link of a per-row probe chain.
+# Tier 2 grows superblock trees at hot blocks too, inlining the chain's
+# continuations so one driver dispatch covers the whole per-row path.
+TIER2_HOT_BLOCK_ENTRIES = 128
+
 # --- sampling defaults (the paper's experimental setup) ------------------
 
 DEFAULT_PERIOD_CYCLES = 5000  # one sample per 5000 cycles (0.7 MHz at 3.5 GHz)

@@ -14,6 +14,7 @@ sums approach 2^63.  ``SDIV``/``SREM`` truncate toward zero like C.
 from __future__ import annotations
 
 import struct as _struct
+import warnings
 
 from dataclasses import dataclass
 
@@ -89,6 +90,7 @@ class Machine:
         pmu_config: PmuConfig | None = None,
         kernel=None,
         fast_vm: bool = True,
+        tiering=None,
     ):
         self.program = program
         self.memory = memory
@@ -110,6 +112,19 @@ class Machine:
         # fallback would dominate, so the fast engine disarms itself and
         # every instruction runs interpreted.
         self._fast_blocks = None
+        # Tiered execution bookkeeping (repro.vm.tiering): ``tier`` is the
+        # machine's *effective* tier — 0 pure interpreter, 1 template
+        # superblocks, 2 profile-specialized traces.  ``_tier_guard`` is
+        # the test-only forced-deopt trip read by guard-hook translations.
+        self.tier = 0
+        self._tiering = tiering
+        self._tier1_blocks = None
+        self._tier_epoch = -1
+        self._tier_guard = False
+        self._tier2_guarded = False
+        self.deopt_events: list[int] = []
+        # per-block dispatch counts, filled by the tiered driver only
+        self.block_entries: dict[int, int] = {}
         if fast_vm and (
             pmu_config is None or pmu_config.period >= costs.FAST_VM_MIN_PERIOD
         ):
@@ -127,6 +142,19 @@ class Machine:
             self._fast_blocks = translation_for(
                 program, event, bound_cap
             ).blocks
+            self.tier = 1
+        elif fast_vm:
+            # auto-disable used to be silent: benchmarks could think they
+            # measured the fast VM while every instruction interpreted
+            warnings.warn(
+                f"fast VM disarmed: PMU period {pmu_config.period} is below "
+                f"the minimum ({costs.FAST_VM_MIN_PERIOD}); running the "
+                "tier-0 interpreter",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if tiering is not None and self._fast_blocks is not None:
+            tiering.apply(self)
         stack_base = memory.alloc(STACK_BYTES, "stack")
         self.stack_base = stack_base
         self.stack_end = stack_base + STACK_BYTES
@@ -156,6 +184,40 @@ class Machine:
 
     def restore_pmu_cursor(self, cursor: tuple[int, int, int]) -> None:
         self._countdown, self._jitter, self._external_ip_rotor = cursor
+
+    # ------------------------------------------------------------------
+    # tiered execution (repro.vm.tiering)
+
+    def install_tier2(self, blocks, guarded: bool = False) -> None:
+        """Switch to a tier-2 block map, keeping tier 1 for deopt.
+
+        Called by the tiering controller at commit points only — machine
+        construction and morsel/unit boundaries — never mid-run, so the
+        simulated state is always at a block boundary when the map swaps.
+        ``guarded`` marks maps compiled with the forced-deopt guard hook;
+        only those can demote mid-call, so only those need the
+        re-reading tiered driver after promotion.
+        """
+        if self._fast_blocks is None or self.tier >= 2:
+            return
+        self._tier2_guarded = guarded
+        self._tier1_blocks = self._fast_blocks
+        self._fast_blocks = blocks
+        self.tier = 2
+
+    def _tier_deopt(self, ip: int) -> None:
+        """Guard-miss landing pad, called from tier-2 code *after* the
+        full deferred flush: by the time we get here registers, counters,
+        predictor state and the PMU countdown are already exact.  Demotes
+        the machine to its tier-1 map so the driver re-dispatches ``ip``
+        unspecialized."""
+        self._tier_guard = False
+        self.deopt_events.append(ip)
+        if self._tier1_blocks is not None:
+            self._fast_blocks = self._tier1_blocks
+            self.tier = 1
+        if self._tiering is not None:
+            self._tiering.note_deopt(self.program, ip)
 
     # ------------------------------------------------------------------
     # sampling
@@ -246,7 +308,16 @@ class Machine:
         for i, value in enumerate(args):
             regs[i] = value
         if self._fast_blocks is not None:
-            self._run_fast(entry_ip)
+            if self.tier >= 2 and not self._tier2_guarded:
+                # Promoted and guard-free: the map cannot change mid-call
+                # (deopt needs the guard hook) and counting stopped at
+                # promotion, so the hoisted-map driver is exact and the
+                # per-dispatch re-read would be pure overhead.
+                self._run_fast(entry_ip)
+            elif self._tiering is not None or self._tier1_blocks is not None:
+                self._run_fast_tiered(entry_ip)
+            else:
+                self._run_fast(entry_ip)
         else:
             self._run(entry_ip)
         return regs[0]
@@ -305,6 +376,79 @@ class Machine:
                         and state.instructions + fb[1]
                         <= state.max_instructions
                     ):
+                        ip = fb[0](
+                            self, regs, words, state, caches, predictor
+                        )
+                        continue
+                ip = interp(ip, blocks)
+
+    def _run_fast_tiered(self, entry_ip: int) -> None:
+        """The dual-mode driver for tiered machines.
+
+        Identical admission logic to :meth:`_run_fast`, but the block map
+        is re-read from ``self._fast_blocks`` on every dispatch so a
+        guard-miss demotion (``_tier_deopt``) or a controller promotion
+        takes effect at the very next block boundary.  Tier-1 machines
+        keep the hoisted-map driver and pay nothing for this.
+
+        While the machine is still at tier 1 under a controller, every
+        dispatch also bumps ``block_entries[ip]`` — the per-block
+        execution counts the tiering controller aggregates into its
+        rolling profile.  A loop head entered once per row (a join-probe
+        chain) and one entered once per morsel (a scan loop) look the
+        same statically; the entry counts tell them apart, and tier-2
+        deferred sync is only worth compiling into the latter.  Once the
+        program is promoted the profile is consumed, so tier-2 machines
+        skip the counting entirely.
+        """
+        self.call_stack.append(-1)
+        regs = self.regs
+        words = self.memory.words
+        state = self.state
+        caches = self.caches
+        predictor = self.predictor
+        config = self.pmu_config
+        interp = self._interp
+        counting = self._tiering is not None and self.tier < 2
+        entries = self.block_entries
+        ip = entry_ip
+        if config is None:
+            max_instructions = state.max_instructions
+            while ip >= 0:
+                blocks = self._fast_blocks
+                b = blocks.get(ip)
+                if b is not None and state.instructions + b[1] <= max_instructions:
+                    if counting:
+                        entries[ip] = entries.get(ip, 0) + 1
+                    ip = b[0](self, regs, words, state, caches, predictor)
+                else:
+                    ip = interp(ip, blocks)
+        else:
+            while ip >= 0:
+                blocks = self._fast_blocks
+                b = blocks.get(ip)
+                if b is not None:
+                    if (
+                        self._countdown > b[2]
+                        and state.instructions + b[1]
+                        <= state.max_instructions
+                    ):
+                        if counting:
+                            entries[ip] = entries.get(ip, 0) + 1
+                        ip = b[0](self, regs, words, state, caches, predictor)
+                        continue
+                    fb = b[3]
+                    if (
+                        fb is not None
+                        and self._countdown > fb[2]
+                        and state.instructions + fb[1]
+                        <= state.max_instructions
+                    ):
+                        # fallback dispatches are sampling-window tail
+                        # artifacts, not workload structure — counting
+                        # them would inflate the entry profile of every
+                        # loop the window happens to cut (the interpreter
+                        # handoff they replace was never counted either)
                         ip = fb[0](
                             self, regs, words, state, caches, predictor
                         )

@@ -45,6 +45,42 @@ Translations are cached on the Program object, keyed by the sampled event
 and the armed bound cap (the countdown bookkeeping is specialized per
 event), so the up-to-four morsel workers of one query share a single
 translation.
+
+Tier 2 (``tier=2``, driven by :mod:`repro.vm.tiering`) recompiles hot
+programs with *deferred sync*: inside a loop-head superblock the counters
+(instructions, cycles, loads, stores, cache accesses), the branch
+predictor's per-ip 2-bit counters, and the PMU countdown all live in
+Python locals, and the loop back edge only folds the path's static totals
+into those locals — the full flush to machine state happens exclusively at
+real exits and at guard misses (countdown low, budget low, or the
+test-only ``m._tier_guard`` trip).  That flush *is* the deoptimization
+path: it reconstructs the exact interpreter-visible state (registers,
+counters, countdown, predictor) before handing the resume ip back to the
+driver, so a guard miss mid-superblock is invisible to sample streams and
+counter parity.  A ``bias`` snapshot of the rolling predictor counters
+additionally specializes biased branches: the 2-bit update is split per
+arm so the condition is tested once, and a branch that goes its
+predicted way on a saturated counter does no work at all (the counter
+stays put and the predicted cycle is path-static); the fast-path guard
+re-checks the live counter so a drifted snapshot costs speed, never
+exactness.  Retired-branch counts are path-static and fold into the
+sync/edge constants like instruction counts do.
+
+Three more tier-2 specializations ride on the same exactness argument:
+
+- *Same-line memoization*: after any load/store, the accessed cache line
+  is by construction the MRU entry of its L1 set, so a repeat access to
+  the line recorded in the ``_mln`` local is a guaranteed MRU hit — one
+  shift and one compare replace the whole set lookup.
+- *Slim loop edges* (unarmed deferred loops): every back-edge path
+  retires a static mix of instructions/loads/stores/branches, so the
+  edge bumps one per-path iteration counter plus a fused
+  decrement-and-test instruction-budget countdown, and flush sites
+  rebuild the absolute totals as linear combinations of the counters.
+- *Hot-block trees*: the rolling profile's per-block entry counts mark
+  blocks entered hundreds of times per run without a closed loop — the
+  links of per-row probe chains — and tier 2 grows superblock trees at
+  them too, so one driver dispatch covers the whole per-row path.
 """
 
 from __future__ import annotations
@@ -75,6 +111,23 @@ _MODES = {
 # ``bound_cap`` so it stays small against the sampling countdown.
 _TREE_BUDGET = 1536
 _TREE_DEPTH = 8
+
+# Deferred-sync gate: a loop head qualifies when the profile shows at
+# least this many retired instructions per recorded block entry — the
+# entry/exit accumulator setup is ~20 statements, so a loop must run
+# long enough per entry to amortize it.  Scan loops (one entry per
+# morsel, thousands of iterations) clear this easily; join-probe chains
+# (one entry per row, 1-2 iterations) never do.
+_DEFER_MIN_WORK = 512
+
+# Segment length of the armed cycles-mode linear fallback: the driver
+# admits the block on the *first* segment's worst-case bound only, and
+# the block re-checks the live countdown before every further segment.
+# Cycles is the one event whose worst-case bound (every load misses to
+# memory) towers over the typical cost, so whole-block admission would
+# hand the last ~worst-case-bound stretch of every sampling window to
+# the interpreter; segmentation shrinks that tail to one segment.
+_FALLBACK_SEG = 8
 
 # worst-case cycle cost per opcode, for the CYCLES event bound
 _WORST_CYCLES = {
@@ -139,6 +192,7 @@ class Translation:
     code_len: int
     code_id: int
     source: str  # kept for debugging / tests
+    tier: int = 1
 
     def stale_for(self, program: Program) -> bool:
         return (
@@ -147,28 +201,48 @@ class Translation:
         )
 
 
+def translation_key(
+    event: Event | None, bound_cap: int, tier: int = 1,
+    guard_hook: bool = False,
+) -> tuple:
+    """Cache key of one translation variant on a Program object."""
+    return (
+        event.name if event is not None else None,
+        bound_cap, tier, guard_hook,
+    )
+
+
 def translation_for(
-    program: Program, event: Event | None, bound_cap: int = 0
+    program: Program, event: Event | None, bound_cap: int = 0,
+    tier: int = 1, bias: dict | None = None, guard_hook: bool = False,
 ) -> Translation:
     """Return the (cached) translation of ``program`` for ``event``.
 
     ``bound_cap`` is the armed tree-growth allowance in worst-case
     countdown events (0 disables armed trees); unarmed translations
-    ignore it."""
+    ignore it.  ``tier=2`` compiles the profile-specialized variant
+    (``bias`` is the promotion-time predictor-counter snapshot;
+    ``guard_hook`` additionally compiles the test-only forced-deopt
+    guard into every loop edge)."""
     cache = getattr(program, "_vm_translations", None)
     if cache is None:
         cache = {}
         program._vm_translations = cache
-    key = (event.name if event is not None else None, bound_cap)
+    key = translation_key(event, bound_cap, tier, guard_hook)
     entry = cache.get(key)
     if entry is None or entry.stale_for(program):
-        entry = translate_program(program, event, bound_cap)
+        entry = translate_program(
+            program, event, bound_cap, tier=tier, bias=bias,
+            guard_hook=guard_hook,
+        )
         cache[key] = entry
     return entry
 
 
 def translate_program(
-    program: Program, event: Event | None, bound_cap: int = 0
+    program: Program, event: Event | None, bound_cap: int = 0,
+    tier: int = 1, bias: dict | None = None, guard_hook: bool = False,
+    entries: dict | None = None, hot_weight: int = 0,
 ) -> Translation:
     """Decode ``program`` into basic blocks and compile each one.
 
@@ -186,6 +260,18 @@ def translate_program(
         if event is not None
         else costs.FAST_VM_MAX_BLOCK_PLAIN
     )
+    if tier >= 2 and event is not None and bound_cap:
+        # What admission actually protects is the worst-case *event*
+        # bound, not the instruction count — tier-2 armed roots therefore
+        # decode at the plain cap and _emit_block trims them back by
+        # event bound.  A loop body longer than the tier-1 cap can then
+        # still close into an in-function loop instead of paying a driver
+        # dispatch per iteration.
+        cap = costs.FAST_VM_MAX_BLOCK_PLAIN
+    # tier-2 trees may grow much larger: their compile time is only paid
+    # for programs the profile already proved hot
+    tree_budget = costs.TIER2_TREE_BUDGET if tier >= 2 else _TREE_BUDGET
+    tree_depth = costs.TIER2_TREE_DEPTH if tier >= 2 else _TREE_DEPTH
     code = program.code
     leaders = block_leaders(program)
     chunks: list[str] = []
@@ -197,7 +283,11 @@ def translate_program(
         if start in done or not 0 <= start < len(code):
             continue
         done.add(start)
-        emitted = _emit_block(code, start, cap, mode, bound_cap)
+        emitted = _emit_block(
+            code, start, cap, mode, bound_cap, tier=tier, bias=bias,
+            guard_hook=guard_hook, tree_budget=tree_budget,
+            tree_depth=tree_depth, entries=entries, hot_weight=hot_weight,
+        )
         if emitted is None:
             continue
         src, n_instr, bound, fallthroughs = emitted
@@ -207,7 +297,11 @@ def translate_program(
             # the armed tree's bound keeps it out of the last stretch of
             # every sampling window; give the driver a linear variant
             # with a tight bound to run there instead of interpreting
-            linear = _emit_block(code, start, cap, mode, 0, suffix="f")
+            # (always at the short tier-1 cap — the fallback's whole job
+            # is a small bound)
+            linear = _emit_block(
+                code, start, costs.FAST_VM_MAX_BLOCK, mode, 0, suffix="f"
+            )
             if linear is not None and linear[2] < bound:
                 lin_src, lin_n, lin_bound, lin_falls = linear
                 chunks.append(lin_src)
@@ -237,6 +331,7 @@ def translate_program(
         code_len=len(code),
         code_id=id(code),
         source=source,
+        tier=tier,
     )
 
 
@@ -313,7 +408,11 @@ def _decode_trace(code: list[tuple], start: int, cap: int):
     return items, ip
 
 
-def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
+def _emit_block(
+    code, start, cap, mode, bound_cap=0, suffix="", tier=1, bias=None,
+    guard_hook=False, tree_budget=_TREE_BUDGET, tree_depth=_TREE_DEPTH,
+    entries=None, hot_weight=0,
+):
     """Emit the source of one block function; None if nothing translatable.
 
     Returns ``(source, max_path_instructions, event_bound,
@@ -335,6 +434,24 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
     root_items, root_fall = _decode_trace(code, start, cap)
     if not root_items:
         return None
+    if mode and bound_cap and len(root_items) > costs.FAST_VM_MAX_BLOCK:
+        # Tier-2 armed roots decode past the tier-1 instruction cap (see
+        # translate_program); keep the longest prefix whose worst-case
+        # event bound still leaves tree headroom under ``bound_cap``, but
+        # never trim below the tier-1 cap.  The cut point's ip is where
+        # control would continue, so it becomes the fall-through leader.
+        allowance = bound_cap // 2
+        kept = costs.FAST_VM_MAX_BLOCK
+        acc = _event_bound(root_items[:kept], mode)
+        while kept < len(root_items):
+            step = _event_bound(root_items[kept:kept + 1], mode)
+            if acc + step > allowance:
+                break
+            acc += step
+            kept += 1
+        if kept < len(root_items):
+            root_fall = root_items[kept][0]
+            root_items = root_items[:kept]
 
     # Trees are grown only at *loop heads* — roots whose own trace
     # branches back to start.  Hot cycles always contain a loop head, so
@@ -349,7 +466,38 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
         for _, ins in root_items
     )
     bound = _event_bound(root_items, mode)
-    tree = is_loop_head and (mode == "" or bound < bound_cap)
+    # Tier 2 additionally grows trees at profile-hot non-loop blocks: a
+    # block entered hundreds of times per run without a closed loop is a
+    # link of a per-row dispatch chain (join probe, EXISTS check), and
+    # inlining its continuations lets one driver dispatch cover the
+    # whole chain.
+    hot_block = (
+        tier >= 2
+        and entries is not None
+        and entries.get(start, 0) >= costs.TIER2_HOT_BLOCK_ENTRIES
+    )
+    tree = (is_loop_head or hot_block) and (mode == "" or bound < bound_cap)
+    # Tier-2 deferred sync only pays off where a loop amortizes the bigger
+    # entry/exit sequences: the accumulator setup costs ~20 statements per
+    # block *entry*, so a short-trip loop (a join-probe chain averaging one
+    # or two iterations) loses.  The rolling profile's per-block execution
+    # counts separate the two — a scan loop is entered once per morsel, a
+    # probe chain once per row.  Deferral needs the block's share of the
+    # observed work per entry to dwarf the setup cost; blocks the profile
+    # never saw stay deferred (they are cold, the entry cost is unpaid).
+    # Gated-off loop heads keep the tier-1 sync shape but still get the
+    # tier-2 load/store fusion, which has no entry cost.
+    deferred = tier >= 2 and is_loop_head
+    if deferred and entries is not None:
+        # An armed tier-1 map could not close this loop when its body is
+        # longer than the tier-1 cap, so its profile counted one entry
+        # per *iteration* — the per-entry work gate would misread a scan
+        # loop as a probe chain there and is skipped (closing the loop is
+        # what tier 2 just fixed).
+        if not (mode and len(root_items) > costs.FAST_VM_MAX_BLOCK):
+            n_entries = entries.get(start, 0)
+            deferred = n_entries * _DEFER_MIN_WORK <= hot_weight
+    branch_ips: set[int] = set()
     if tree:
         # inlined continuations can bring loads/branches anywhere, so the
         # dynamic-cycles accumulator is unconditional
@@ -361,6 +509,30 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
             or ins[0] == Opcode.BRNZ
             for _, ins in root_items
         )
+    # Deferred loops let ``cy`` (dynamic cycles: cache misses,
+    # mispredicts) accumulate *across* iterations instead of folding it
+    # into ``_cyt`` and resetting at every back edge — exits and flushes
+    # add ``cy`` once.  Not for the two modes whose loop edges consume a
+    # per-iteration delta: ``cycles`` decrements the countdown by each
+    # iteration's cost, ``l1`` by the per-iteration miss count ``_mi``.
+    defer_cy = deferred and mode in ("", "instr", "loads", "brmiss")
+    # Slim edges (unarmed deferred loops only): every back-edge path
+    # retires a *static* mix of instructions/loads/stores/branches, so
+    # instead of bumping four accumulators per iteration the edge bumps
+    # one per-path iteration counter and a fused budget countdown; the
+    # absolute totals are reconstructed as linear combinations of the
+    # path counters at the (cold) flush sites.  Armed loops keep the
+    # accumulators — their edges must also pay the live countdown.
+    slim = deferred and mode == ""
+    edges: list[dict] = []
+    # segmented admission for the cycles-mode linear fallback ("f"
+    # variant): see _FALLBACK_SEG
+    seg = _FALLBACK_SEG if (suffix == "f" and mode == "cycles") else 0
+    if seg and len(root_items) > seg:
+        # the driver (and the loop edge, when the fallback closes a
+        # short loop) only needs to cover the first segment — the block
+        # re-checks before every later one
+        bound = _event_bound(root_items[:seg], mode)
     # armed trees can inline loads into a load-free root, so the L1-miss
     # accumulator must exist whenever an arm *could* bring one
     track_l1 = mode == "l1" and (
@@ -391,7 +563,7 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
         written_regs.add(i)
         return f"r{i}"
 
-    def try_inline(t, k, pend0, loads0, stores0, path, depth):
+    def try_inline(t, k, pend0, loads0, stores0, branches0, path, depth):
         """Inline the continuation at ``t`` into the current arm.
 
         Returns its emitted lines (at base indent), or None when trees
@@ -401,13 +573,13 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
         nonlocal bound
         if (
             not tree
-            or depth >= _TREE_DEPTH
+            or depth >= tree_depth
             or t in path
-            or emitted >= _TREE_BUDGET
+            or emitted >= tree_budget
         ):
             return None
         sub_items, sub_fall = _decode_trace(
-            code, t, min(cap, _TREE_BUDGET - emitted)
+            code, t, min(cap, tree_budget - emitted)
         )
         if not sub_items:
             return None
@@ -417,22 +589,26 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
                 return None
             bound += sub_bound
         return emit_seq(
-            sub_items, sub_fall, k, pend0, loads0, stores0,
+            sub_items, sub_fall, k, pend0, loads0, stores0, branches0,
             path | {t}, depth + 1,
         )
 
-    def emit_seq(items, fall, k0, pend0, loads0, stores0, path, depth):
+    def emit_seq(
+        items, fall, k0, pend0, loads0, stores0, branches0, path, depth
+    ):
         """Emit one decoded trace; recursion happens at inlined exits.
 
-        ``k0``/``pend0``/``loads0``/``stores0`` carry the retired-count,
-        statically-known cycles, and memory-op counts accumulated on the
-        path into this trace, so sync points flush absolute totals."""
+        ``k0``/``pend0``/``loads0``/``stores0``/``branches0`` carry the
+        retired-count, statically-known cycles, memory-op and
+        conditional-branch counts accumulated on the path into this
+        trace, so sync points flush absolute totals."""
         nonlocal max_k, emitted
         emitted += len(items)
         lines: list[str] = []
         pend = pend0
         loads_done = loads0
         stores_done = stores0
+        branches_done = branches0
 
         def cy_expr(const: int) -> str:
             if has_dyn:
@@ -442,8 +618,30 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
         def emit_error_sync(k: int, extra: int = 0) -> None:
             nonlocal max_k
             max_k = max(max_k, k)
-            lines.append("\x00WB        ")
+            lines.append(f"\x00WB        \x00{branches_done}")
             expr = cy_expr(pend + extra)
+            if deferred:
+                # fold the deferred accumulators back in so the raised
+                # error leaves the exact interpreter-visible state
+                lines.append(
+                    f"        state.cycles += _cyt + {expr}"
+                    if expr != "0"
+                    else "        state.cycles += _cyt"
+                )
+                lines.append(f"        state.instructions += _ins + {k}")
+                ld = f"_ld + {loads_done}" if loads_done else "_ld"
+                st = f"_st + {stores_done}" if stores_done else "_st"
+                lines.append(f"        state.loads += {ld}")
+                lines.append(f"        state.stores += {st}")
+                total = loads_done + stores_done
+                lines.append(
+                    f"        caches.accesses += _ld + _st + {total}"
+                    if total
+                    else "        caches.accesses += _ld + _st"
+                )
+                if mode:
+                    lines.append("        m._countdown = _cd")
+                return
             if expr != "0":
                 lines.append(f"        state.cycles += {expr}")
             lines.append(f"        state.instructions += {k}")
@@ -465,7 +663,51 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
             cost."""
             nonlocal max_k
             max_k = max(max_k, k)
-            lines.append(f"\x00WB{indent}")
+            lines.append(f"\x00WB{indent}\x00{branches_done}")
+            if isinstance(extra, int):
+                expr = cy_expr(pend + extra)
+            else:
+                expr = f"{cy_expr(pend)} + {extra}"
+            if deferred:
+                ld = f"_ld + {loads_done}" if loads_done else "_ld"
+                st = f"_st + {stores_done}" if stores_done else "_st"
+                lines.append(f"{indent}state.loads += {ld}")
+                lines.append(f"{indent}state.stores += {st}")
+                total = loads_done + stores_done
+                lines.append(
+                    f"{indent}caches.accesses += _ld + _st + {total}"
+                    if total
+                    else f"{indent}caches.accesses += _ld + _st"
+                )
+                if mode == "cycles":
+                    lines.append(f"{indent}_t = {expr}")
+                    lines.append(f"{indent}state.cycles += _cyt + _t")
+                    lines.append(f"{indent}state.instructions += _ins + {k}")
+                    lines.append(f"{indent}m._countdown = _cd - _t")
+                else:
+                    lines.append(
+                        f"{indent}state.cycles += _cyt + {expr}"
+                        if expr != "0"
+                        else f"{indent}state.cycles += _cyt"
+                    )
+                    lines.append(f"{indent}state.instructions += _ins + {k}")
+                    if mode == "instr":
+                        lines.append(
+                            f"{indent}m._countdown = _cd - {instr_events}"
+                            if instr_events
+                            else f"{indent}m._countdown = _cd"
+                        )
+                    elif mode == "loads":
+                        lines.append(
+                            f"{indent}m._countdown = _cd - {loads_done}"
+                            if loads_done
+                            else f"{indent}m._countdown = _cd"
+                        )
+                    elif track_l1:
+                        lines.append(f"{indent}m._countdown = _cd - _mi")
+                    elif mode:
+                        lines.append(f"{indent}m._countdown = _cd")
+                return
             if loads_done:
                 lines.append(f"{indent}state.loads += {loads_done}")
             if stores_done:
@@ -474,10 +716,6 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
                 lines.append(
                     f"{indent}caches.accesses += {loads_done + stores_done}"
                 )
-            if isinstance(extra, int):
-                expr = cy_expr(pend + extra)
-            else:
-                expr = f"{cy_expr(pend)} + {extra}"
             if mode == "cycles":
                 lines.append(f"{indent}_t = {expr}")
                 lines.append(f"{indent}state.cycles += _t")
@@ -494,15 +732,82 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
                 elif track_l1:
                     lines.append(f"{indent}m._countdown -= _mi")
 
-        def emit_loop_edge(indent: str) -> None:
+        def emit_edge_acc(
+            k: int, extra, instr_events: int, indent: str = "    "
+        ) -> int:
+            """Deferred loop edge: fold the path's static totals into the
+            function-local accumulators instead of flushing — the flush
+            happens only if the admission re-check fails (see the \\x00LE
+            expansion).  Slim (unarmed) edges bump a single per-path
+            iteration counter instead; the totals are rebuilt from the
+            counters at flush sites.  Returns the edge index (slim) or
+            -1."""
+            nonlocal max_k
+            max_k = max(max_k, k)
+            if slim:
+                idx = len(edges)
+                edges.append({
+                    "k": k,
+                    "ld": loads_done,
+                    "st": stores_done,
+                    "cy": pend + (extra if isinstance(extra, int) else 0),
+                    "pb": branches_done,
+                })
+                lines.append(f"{indent}_e{idx} += 1")
+                return idx
+            lines.append(f"{indent}_ins += {k}")
+            if loads_done:
+                lines.append(f"{indent}_ld += {loads_done}")
+            if stores_done:
+                lines.append(f"{indent}_st += {stores_done}")
+            if branches_done:
+                lines.append(f"{indent}_pb += {branches_done}")
+            if isinstance(extra, int):
+                expr = cy_expr(pend + extra)
+            else:
+                expr = f"{cy_expr(pend)} + {extra}"
+            if mode == "cycles":
+                lines.append(f"{indent}_t = {expr}")
+                lines.append(f"{indent}_cyt += _t")
+                lines.append(f"{indent}_cd -= _t")
+            else:
+                if defer_cy and isinstance(extra, int):
+                    # ``cy`` rides across iterations; only the path's
+                    # static cycles fold into the accumulator here
+                    if pend + extra:
+                        lines.append(f"{indent}_cyt += {pend + extra}")
+                elif expr != "0":
+                    lines.append(f"{indent}_cyt += {expr}")
+                if mode == "instr" and instr_events:
+                    lines.append(f"{indent}_cd -= {instr_events}")
+                elif mode == "loads" and loads_done:
+                    lines.append(f"{indent}_cd -= {loads_done}")
+                elif track_l1:
+                    lines.append(f"{indent}_cd -= _mi")
+            return -1
+
+        def emit_loop_edge(indent: str, edge_idx: int = -1) -> None:
             """Re-run the driver's admission check, then take the back
             edge of the function-level loop (a ``continue`` jumps to the
             block start: counters were just synced, ``cy`` resets at the
             loop top)."""
             flags["loop"] = True
-            lines.append(f"\x00LE{indent}")
+            lines.append(f"\x00LE{indent}\x00{edge_idx}")
 
         for index, (ip, ins) in enumerate(items):
+            if seg and depth == 0 and index and index % seg == 0:
+                # segmented admission re-check: the driver only covered
+                # the first segment's worst-case bound, so before each
+                # further segment compare the live countdown against the
+                # next segment; on failure sync exactly and hand the
+                # mid-trace ip back (the interpreter finishes the short
+                # remaining stretch of the sampling window)
+                nxt = _event_bound(items[index:index + seg], mode)
+                lines.append(
+                    f"    if m._countdown - {cy_expr(pend)} <= {nxt}:"
+                )
+                emit_sync(k0 + index, 0, k0 + index, indent="        ")
+                lines.append(f"        return {ip}")
             op = ins[0]
             k = k0 + index + 1  # instructions retired including this one
             d, a, b = ins[1], ins[2], ins[3]
@@ -570,14 +875,32 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
                 pend += 1
             elif op == Opcode.MUL or op == Opcode.MULI:
                 rhs = rg(b) if op == Opcode.MUL else repr(b)
-                lines += [
-                    f"    _r = {rg(a)} * {rhs}",
-                    "    if isinstance(_r, int):",
-                    f"        _r &= {_MASK64}",
-                    f"        if _r & {_SIGN64}:",
-                    f"            _r -= {1 << 64}",
-                    f"    {wr(d)} = _r",
-                ]
+                if tier >= 2:
+                    # specialized trace: an in-range product (int or
+                    # float) is its own wrapped value, so the mask dance
+                    # only runs on actual 64-bit overflow (or inf/NaN,
+                    # which fail both comparisons and fall through the
+                    # isinstance test unchanged, exactly like tier 1)
+                    lines += [
+                        f"    _r = {rg(a)} * {rhs}",
+                        f"    if {-_SIGN64} <= _r < {_SIGN64}:",
+                        f"        {wr(d)} = _r",
+                        "    else:",
+                        "        if isinstance(_r, int):",
+                        f"            _r &= {_MASK64}",
+                        f"            if _r & {_SIGN64}:",
+                        f"                _r -= {1 << 64}",
+                        f"        {wr(d)} = _r",
+                    ]
+                else:
+                    lines += [
+                        f"    _r = {rg(a)} * {rhs}",
+                        "    if isinstance(_r, int):",
+                        f"        _r &= {_MASK64}",
+                        f"        if _r & {_SIGN64}:",
+                        f"            _r -= {1 << 64}",
+                        f"    {wr(d)} = _r",
+                    ]
                 pend += costs.CYCLES_MUL
             elif op == Opcode.SDIV:
                 lines += [
@@ -586,11 +909,25 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
                     "    if _b == 0:",
                 ]
                 emit_error_sync(k)
-                lines += [
-                    f"        raise VMError('division by zero', {ip})",
-                    "    _q = abs(_a) // abs(_b)",
-                    f"    {wr(d)} = -_q if (_a < 0) != (_b < 0) else _q",
-                ]
+                lines.append(f"        raise VMError('division by zero', {ip})")
+                if tier >= 2:
+                    # specialized trace: for non-negative operands (the
+                    # overwhelmingly common case: quantities, prices,
+                    # scaled decimals) floor division IS truncation, so
+                    # the abs/sign dance is outlined to the cold arm
+                    lines += [
+                        "    if _a >= 0 and _b > 0:",
+                        f"        {wr(d)} = _a // _b",
+                        "    else:",
+                        "        _q = abs(_a) // abs(_b)",
+                        f"        {wr(d)} = -_q if (_a < 0) != (_b < 0)"
+                        " else _q",
+                    ]
+                else:
+                    lines += [
+                        "    _q = abs(_a) // abs(_b)",
+                        f"    {wr(d)} = -_q if (_a < 0) != (_b < 0) else _q",
+                    ]
                 pend += costs.CYCLES_DIV
             elif op == Opcode.SREM:
                 lines += [
@@ -601,11 +938,27 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
                 lines += [
                     f"        raise VMError('remainder by zero', {ip})",
                     f"    _a = {rg(a)}",
-                    "    _q = abs(_a) // abs(_b)",
-                    "    if (_a < 0) != (_b < 0):",
-                    "        _q = -_q",
-                    f"    {wr(d)} = _a - _b * _q",
                 ]
+                if tier >= 2:
+                    # same non-negative fast path; the remainder is built
+                    # from the same quotient expression as the cold arm so
+                    # float operands stay bit-identical
+                    lines += [
+                        "    if _a >= 0 and _b > 0:",
+                        f"        {wr(d)} = _a - _b * (_a // _b)",
+                        "    else:",
+                        "        _q = abs(_a) // abs(_b)",
+                        "        if (_a < 0) != (_b < 0):",
+                        "            _q = -_q",
+                        f"        {wr(d)} = _a - _b * _q",
+                    ]
+                else:
+                    lines += [
+                        "    _q = abs(_a) // abs(_b)",
+                        "    if (_a < 0) != (_b < 0):",
+                        "        _q = -_q",
+                        f"    {wr(d)} = _a - _b * _q",
+                    ]
                 pend += costs.CYCLES_DIV
             elif op == Opcode.FDIV:
                 lines += [
@@ -656,6 +1009,51 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
                     f"    {wr(d)} = _a if _a {sym} _b else _b",
                 ]
                 pend += 1
+            elif op == Opcode.LOAD and tier >= 2:
+                # tier-2 load: assignment expressions fuse the address,
+                # line, and set lookups into the guards, and the L1-hit
+                # latency is folded into the path-static cycles (``pend``)
+                # — the all-hits fast path retires in three statements.
+                # ``_mln`` memoizes the line of the *previous* memory op:
+                # that line is by construction the MRU entry of its set
+                # (every arm below ends with the accessed line at MRU
+                # position), so a repeat access to it is a guaranteed
+                # L1 MRU hit and skips the whole set lookup — one shift
+                # and one compare.  The hit-not-MRU arm inlines
+                # CacheLevel.access's LRU move-to-front; only true L1
+                # misses call out, charging the latency *difference*
+                # against the folded constant.
+                flags["mem"] = True
+                addr = f"{rg(a)} + {b}" if b else rg(a)
+                lines.append(f"    if (_x := {addr}) & 7 or _x < 8:")
+                emit_error_sync(k)
+                lines += [
+                    f"        raise VMError('unaligned or null load"
+                    f" at %#x' % _x, {ip})",
+                    "    try:",
+                    f"        {wr(d)} = words[_x >> 3]",
+                    "    except IndexError:",
+                ]
+                emit_error_sync(k)
+                lines += [
+                    f"        raise VMError('load out of bounds"
+                    f" at %#x' % _x, {ip}) from None",
+                    "    if (_ln := _x >> _lb) != _mln:",
+                    "        _mln = _ln",
+                    "        if not (_tg := _l1s[_ln & _l1m])"
+                    " or _tg[0] != _ln:",
+                    "            if _ln in _tg:",
+                    "                _tg.remove(_ln)",
+                    "                _tg.insert(0, _ln)",
+                    "            else:",
+                    "                _c = _acc(_x)",
+                    f"                cy += _c - {costs.LAT_L1}",
+                ]
+                if mode == "l1":
+                    lines.append(f"                if _c > {costs.LAT_L1}:")
+                    lines.append("                    _mi += 1")
+                pend += costs.LAT_L1
+                loads_done += 1
             elif op == Opcode.LOAD:
                 flags["mem"] = True
                 addr = f"{rg(a)} + {b}" if b else rg(a)
@@ -687,6 +1085,37 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
                     lines.append(f"        if _c > {costs.LAT_L1}:")
                     lines.append("            _mi += 1")
                 loads_done += 1
+            elif op == Opcode.STORE and tier >= 2:
+                # tier-2 store: same fusion and same-line memoization as
+                # the tier-2 load (store latency was always path-static),
+                # same inline LRU move-to-front on the hit-not-MRU arm
+                flags["mem"] = True
+                addr = f"{rg(d)} + {b}" if b else rg(d)
+                lines.append(f"    if (_x := {addr}) & 7 or _x < 8:")
+                emit_error_sync(k)
+                lines += [
+                    f"        raise VMError('unaligned or null store"
+                    f" at %#x' % _x, {ip})",
+                    "    try:",
+                    f"        words[_x >> 3] = {rg(a)}",
+                    "    except IndexError:",
+                ]
+                emit_error_sync(k)
+                lines += [
+                    f"        raise VMError('store out of bounds"
+                    f" at %#x' % _x, {ip}) from None",
+                    "    if (_ln := _x >> _lb) != _mln:",
+                    "        _mln = _ln",
+                    "        if not (_tg := _l1s[_ln & _l1m])"
+                    " or _tg[0] != _ln:",
+                    "            if _ln in _tg:",
+                    "                _tg.remove(_ln)",
+                    "                _tg.insert(0, _ln)",
+                    "            else:",
+                    "                _acc(_x)",
+                ]
+                pend += costs.CYCLES_STORE
+                stores_done += 1
             elif op == Opcode.STORE:
                 # STORE encodes (op, base_reg, src_reg, imm)
                 flags["mem"] = True
@@ -722,18 +1151,103 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
                     # only the branch cycle is charged
                     pend += costs.CYCLES_BRANCH
                 elif d == start:
-                    emit_sync(k, costs.CYCLES_BRANCH, k)
-                    emit_loop_edge("    ")
+                    if deferred:
+                        eidx = emit_edge_acc(k, costs.CYCLES_BRANCH, k)
+                    else:
+                        emit_sync(k, costs.CYCLES_BRANCH, k)
+                        eidx = -1
+                    emit_loop_edge("    ", eidx)
                 else:
                     sub = try_inline(
                         d, k, pend + costs.CYCLES_BRANCH,
-                        loads_done, stores_done, path, depth,
+                        loads_done, stores_done, branches_done, path, depth,
                     )
                     if sub is not None:
                         lines.extend(sub)
                     else:
                         emit_sync(k, costs.CYCLES_BRANCH, k)
                         lines.append(f"    return {d}")
+            elif (op == Opcode.BRZ or op == Opcode.BRNZ) and deferred:
+                # Tier-2: the 2-bit counter lives in a local (_h{ip},
+                # loaded once at entry, written back only on change at
+                # exits), mispredicts accumulate in _pm, and the retired
+                # branch *count* is path-static — it folds into sync/edge
+                # constants instead of a per-branch increment.  The
+                # predictor update is split per arm so the condition is
+                # tested exactly once, and the profile's ``bias`` snapshot
+                # puts a zero-work fast path on the predicted arm: a
+                # branch that goes its predicted way on a saturated
+                # counter needs no update at all (the counter stays put
+                # and the predicted cycle is already folded into
+                # ``pend``).  The guard re-checks the live counter, so a
+                # drifted snapshot costs speed, never exactness.  The
+                # threshold is the prediction boundary (>= 2 means
+                # predicted taken), not an exact saturation value.
+                cond = "==" if op == Opcode.BRZ else "!="
+                branch_ips.add(ip)
+                h = f"_h{ip}"
+                branches_done += 1
+                b_bias = bias.get(ip) if bias else None
+                miss_cd = ["_cd -= 1"] if mode == "brmiss" else []
+                lines.append(f"    if {rg(d)} {cond} 0:")
+                # taken arm: mispredict iff the pre-update counter < 2;
+                # update saturates upward at 3
+                if b_bias is not None and b_bias >= 2:
+                    lines += [
+                        f"        if {h} != 3:",
+                        f"            if {h} < 2:",
+                        "                _pm += 1",
+                        f"                cy += {costs.CYCLES_BRANCH_MISS}",
+                        *(f"                {s}" for s in miss_cd),
+                        f"            {h} += 1",
+                    ]
+                else:
+                    lines += [
+                        f"        _c = {h}",
+                        "        if _c < 3:",
+                        f"            {h} = _c + 1",
+                        "        if _c < 2:",
+                        "            _pm += 1",
+                        f"            cy += {costs.CYCLES_BRANCH_MISS}",
+                        *(f"            {s}" for s in miss_cd),
+                    ]
+                arm = "        "
+                if a == start:
+                    eidx = emit_edge_acc(k, costs.CYCLES_BRANCH, k, arm)
+                    emit_loop_edge(arm, eidx)
+                else:
+                    sub = try_inline(
+                        a, k, pend + costs.CYCLES_BRANCH, loads_done,
+                        stores_done, branches_done, path, depth,
+                    )
+                    if sub is not None:
+                        lines.extend("    " + ln for ln in sub)
+                    else:
+                        emit_sync(k, costs.CYCLES_BRANCH, k, indent=arm)
+                        lines.append(f"{arm}return {a}")
+                # not-taken arm: mispredict iff the pre-update counter
+                # >= 2; update saturates downward at 0
+                lines.append("    else:")
+                if b_bias is not None and b_bias < 2:
+                    lines += [
+                        f"        if {h} != 0:",
+                        f"            if {h} >= 2:",
+                        "                _pm += 1",
+                        f"                cy += {costs.CYCLES_BRANCH_MISS}",
+                        *(f"                {s}" for s in miss_cd),
+                        f"            {h} -= 1",
+                    ]
+                else:
+                    lines += [
+                        f"        _c = {h}",
+                        "        if _c > 0:",
+                        f"            {h} = _c - 1",
+                        "        if _c >= 2:",
+                        "            _pm += 1",
+                        f"            cy += {costs.CYCLES_BRANCH_MISS}",
+                        *(f"            {s}" for s in miss_cd),
+                    ]
+                pend += costs.CYCLES_BRANCH
             elif op == Opcode.BRZ or op == Opcode.BRNZ:
                 # side exit: the taken arm leaves the trace (or inlines
                 # its continuation), the fall-through arm keeps executing
@@ -765,7 +1279,8 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
                     emit_loop_edge("        ")
                 else:
                     sub = try_inline(
-                        a, k, pend, loads_done, stores_done, path, depth,
+                        a, k, pend, loads_done, stores_done, branches_done,
+                        path, depth,
                     )
                     if sub is not None:
                         lines.append("        cy += _bc")
@@ -822,20 +1337,64 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
             fallthroughs.append(fall)
         return lines
 
-    root_lines = emit_seq(root_items, root_fall, 0, 0, 0, 0, {start}, 0)
+    root_lines = emit_seq(root_items, root_fall, 0, 0, 0, 0, 0, {start}, 0)
     lines: list[str] = []
-    if has_dyn:
+    if has_dyn and not defer_cy:
         # inside the function-level loop when one exists, so a back edge
         # resets the dynamic accumulators for the next iteration
+        # (``defer_cy`` loops instead initialize ``cy`` once in the head
+        # and let it accumulate across iterations)
         lines.append("    cy = 0")
     if track_l1:
         lines.append("    _mi = 0")
     lines += root_lines
 
-    # expand placeholders now that the written set and worst-case path
-    # length are final
+    # expand placeholders now that the written set, worst-case path
+    # length, and (slim) edge-path table are final
     written = sorted(written_regs)
-    if mode:
+    recon: list[str] = []
+    if slim:
+        # flush-site reconstruction: every deferred total is a linear
+        # combination of the per-path iteration counters
+        def _recon_expr(field: str) -> str:
+            terms = [
+                f"{e[field]} * _e{i}" if e[field] != 1 else f"_e{i}"
+                for i, e in enumerate(edges)
+                if e[field]
+            ]
+            return " + ".join(terms) if terms else "0"
+
+        recon = [
+            f"_ins = {_recon_expr('k')}",
+            f"_ld = {_recon_expr('ld')}",
+            f"_st = {_recon_expr('st')}",
+            f"_cyt = {_recon_expr('cy')}",
+            f"_pb = {_recon_expr('pb')}",
+        ]
+    if deferred:
+        budget_cond = f"_ib + _ins + {max_k} > _maxi"
+        le_cond = f"_cd <= {bound} or {budget_cond}" if mode else budget_cond
+        # the uniform deopt flush: everything the accumulators deferred
+        # goes back to machine state before the driver regains control
+        flush = list(recon)
+        flush += [f"regs[{i}] = r{i}" for i in written]
+        flush += [
+            "state.instructions += _ins",
+            "state.cycles += _cyt + cy" if defer_cy and has_dyn
+            else "state.cycles += _cyt",
+            "state.loads += _ld",
+            "state.stores += _st",
+            "caches.accesses += _ld + _st",
+            "predictor.branches += _pb",
+            "predictor.mispredicts += _pm",
+        ]
+        flush.extend(
+            f"if _h{bip} != _hs{bip}: _pc[{bip}] = _h{bip}"
+            for bip in sorted(branch_ips)
+        )
+        if mode:
+            flush.append("m._countdown = _cd")
+    elif mode:
         le_cond = (
             f"m._countdown <= {bound}"
             f" or state.instructions + {max_k} > _maxi"
@@ -845,17 +1404,47 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
     expanded: list[str] = []
     for ln in lines:
         # inlined sub-traces get re-indented wholesale, so a placeholder
-        # line is (outer indent) + marker + (frame-local indent)
+        # line is (outer indent) + marker + (frame-local indent), with
+        # the site's path-static branch count (WB) or edge-path index
+        # (LE) carried behind a second NUL
         if "\x00WB" in ln:
-            indent = ln.replace("\x00WB", "")
+            indent, _, bd = ln.replace("\x00WB", "").partition("\x00")
             expanded.extend(f"{indent}regs[{i}] = r{i}" for i in written)
+            if deferred:
+                expanded.extend(f"{indent}{r}" for r in recon)
+                pb = f"_pb + {bd}" if bd not in ("", "0") else "_pb"
+                expanded.append(f"{indent}predictor.branches += {pb}")
+                expanded.append(f"{indent}predictor.mispredicts += _pm")
+                expanded.extend(
+                    f"{indent}if _h{bip} != _hs{bip}: _pc[{bip}] = _h{bip}"
+                    for bip in sorted(branch_ips)
+                )
         elif "\x00LE" in ln:
-            indent = ln.replace("\x00LE", "")
-            expanded.extend([
-                f"{indent}if {le_cond}:",
-                f"{indent}    return {start}",
-                f"{indent}continue",
-            ])
+            indent, _, eidx = ln.replace("\x00LE", "").partition("\x00")
+            if deferred:
+                if guard_hook:
+                    expanded.append(f"{indent}if m._tier_guard:")
+                    expanded.extend(f"{indent}    {f}" for f in flush)
+                    expanded.append(f"{indent}    m._tier_deopt({start})")
+                    expanded.append(f"{indent}    return {start}")
+                if slim:
+                    # fused decrement-and-test of the instruction budget:
+                    # _bl holds the iterations' worth of headroom left
+                    ek = edges[int(eidx)]["k"]
+                    expanded.append(
+                        f"{indent}if (_bl := _bl - {ek}) < 0:"
+                    )
+                else:
+                    expanded.append(f"{indent}if {le_cond}:")
+                expanded.extend(f"{indent}    {f}" for f in flush)
+                expanded.append(f"{indent}    return {start}")
+                expanded.append(f"{indent}continue")
+            else:
+                expanded.extend([
+                    f"{indent}if {le_cond}:",
+                    f"{indent}    return {start}",
+                    f"{indent}continue",
+                ])
         else:
             expanded.append(ln)
 
@@ -875,9 +1464,43 @@ def _emit_block(code, start, cap, mode, bound_cap=0, suffix=""):
         ]
     if flags["loop"]:
         head.append("    _maxi = state.max_instructions")
+    if tier >= 2 and flags["mem"]:
+        # same-line memo: no real line index is negative, so -1 forces
+        # the first memory op down the full check
+        head.append("    _mln = -1")
     # load every used register up front: exits flush the full written set
     # unconditionally, so all the locals must be bound from the start
     head.extend(f"    r{i} = regs[{i}]" for i in sorted(used_regs))
+    if deferred:
+        if branch_ips:
+            head.append("    _pc = predictor.counters")
+            head.append("    _pg = _pc.get")
+            for bip in sorted(branch_ips):
+                head.append(f"    _h{bip} = _pg({bip}, 1)")
+                head.append(f"    _hs{bip} = _h{bip}")
+        head.append("    _pm = 0")
+        if slim:
+            # the deferred totals live in the per-path iteration
+            # counters; _bl is the instruction budget's headroom,
+            # pre-shifted by the worst-case path so the edge test is a
+            # single fused decrement-and-compare
+            head.extend(f"    _e{i} = 0" for i in range(len(edges)))
+            head.append(
+                f"    _bl = _maxi - state.instructions - {max_k}"
+            )
+        else:
+            head += [
+                "    _pb = 0",
+                "    _ins = 0",
+                "    _cyt = 0",
+                "    _ld = 0",
+                "    _st = 0",
+                "    _ib = state.instructions",
+            ]
+        if defer_cy and has_dyn:
+            head.append("    cy = 0")
+        if mode:
+            head.append("    _cd = m._countdown")
     if flags["loop"]:
         body = ["    while True:"] + ["    " + ln for ln in expanded]
     else:

@@ -1,14 +1,18 @@
-"""Fast-VM speed benchmark: translated blocks vs the block interpreter.
+"""Fast-VM speed benchmark: execution tiers against each other.
 
-Times each TPC-H query twice on the *same* compiled program — once on the
-template-translated fast VM and once with ``fast_vm=False`` — so the
-measured delta is purely the execution engine, never the planner or
-backend.  Compilation happens once per query outside the timed region;
-each engine takes the best of ``repeats`` runs to shed scheduler noise.
+Times each TPC-H query on the *same* compiled program under three
+engines — the tier-0 block interpreter (``fast_vm=False``), the tier-1
+template-translated fast VM, and the tier-2 profile-specialized traces
+(promoted through a :class:`~repro.vm.tiering.TieringController` before
+the timed region) — so the measured deltas are purely the execution
+engine, never the planner or backend.  Compilation happens once per
+query outside the timed region; each engine takes the best of
+``repeats`` runs to shed scheduler noise.
 
-Every run also asserts parity: both engines must produce identical result
+Every run also asserts parity: all engines must produce identical result
 rows and identical (cycles, instructions) counters, so a speedup obtained
-by drifting from the interpreter's semantics can never be reported.
+by drifting from the interpreter's semantics can never be reported.  The
+tiered run additionally asserts it actually executed at tier 2.
 
 ``append_trajectory`` keeps ``BENCH_vm.json`` as an append-only list of
 run records — the speedup trajectory across commits that CI uploads and
@@ -31,20 +35,49 @@ DEFAULT_QUERIES = (
     "q1", "q3", "q4", "q6", "q9", "q13", "q18", "q19", "q22",
 )
 
+#: the profile-stable subset: queries whose hot loops are morsel-scoped
+#: scan/aggregation loops, so the rolling profile's entry counts mark
+#: them for tier-2 deferred sync.  Join-probe-dominated plans (q9, q18)
+#: re-enter their hot blocks once per row — the profile correctly
+#: refuses deferral there, so tier 2 is near-neutral on them and they
+#: would only measure noise in a tiering gate.
+PROFILE_STABLE_QUERIES = ("q1", "q3", "q6", "q13", "q19", "q22")
 
-def _best_run(db, compiled, fast_vm: bool, repeats: int):
-    """Best-of-``repeats`` wall time plus the final run's observables."""
-    best = math.inf
-    machines = rows = None
-    for _ in range(repeats):
-        started = time.perf_counter()
-        machines, rows, _ = db._run_compiled(compiled, fast_vm=fast_vm)
-        best = min(best, time.perf_counter() - started)
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def _timed_run(db, compiled, fast_vm: bool, tiering=None):
+    """One run: ``(seconds, rows, counters, tier)``."""
+    started = time.perf_counter()
+    machines, rows, _ = db._run_compiled(
+        compiled, fast_vm=fast_vm, tiering=tiering
+    )
+    elapsed = time.perf_counter() - started
     counters = (
         sum(m.state.instructions for m in machines),
         max(m.state.cycles for m in machines),
     )
-    return best, rows, counters
+    return elapsed, rows, counters, max(m.tier for m in machines)
+
+
+def _best_run(db, compiled, fast_vm: bool, repeats: int, tiering=None):
+    """Best-of-``repeats`` wall time plus the final run's observables."""
+    best = math.inf
+    rows = counters = None
+    tier = 0
+    for _ in range(repeats):
+        elapsed, rows, counters, run_tier = _timed_run(
+            db, compiled, fast_vm, tiering
+        )
+        best = min(best, elapsed)
+        tier = max(tier, run_tier)
+    return best, rows, counters, tier
 
 
 def run_vm_bench(
@@ -61,6 +94,8 @@ def run_vm_bench(
     """
     from repro.data.queries import ALL_QUERIES
 
+    from repro.vm.tiering import TieringController
+
     emit = log or (lambda message: None)
     names = list(queries) if queries else list(DEFAULT_QUERIES)
     per_query = {}
@@ -71,55 +106,132 @@ def run_vm_bench(
         compiled = db._compile(sql, None)
         compile_s = time.perf_counter() - started
 
-        fast_s, fast_rows, fast_counters = _best_run(
-            db, compiled, True, repeats
-        )
-        slow_s, slow_rows, slow_counters = _best_run(
+        # promote to tier 2 before the timed region: the first observed
+        # run crosses the (floor-level) hotness threshold and recompiles
+        # against its rolling profile
+        tiering = TieringController(hot_instructions=1)
+        db._run_compiled(compiled, fast_vm=True, tiering=tiering)
+
+        # Tier 1 and tier 2 are close (tens of percent, not multiples),
+        # so their comparison interleaves the sides within every round
+        # and takes the median of per-round ratios: machine drift hits
+        # both sides of each ratio equally instead of flaking the gate
+        # (same estimator as benchmarks/_harness.py).
+        fast_s = tiered_s = math.inf
+        ratios = []
+        fast_rows = fast_counters = None
+        tiered_rows = tiered_counters = None
+        tier = 0
+        for _ in range(repeats):
+            f_s, fast_rows, fast_counters, _ = _timed_run(
+                db, compiled, True
+            )
+            t_s, tiered_rows, tiered_counters, run_tier = _timed_run(
+                db, compiled, True, tiering=tiering
+            )
+            ratios.append(f_s / t_s)
+            fast_s = min(fast_s, f_s)
+            tiered_s = min(tiered_s, t_s)
+            tier = max(tier, run_tier)
+        slow_s, slow_rows, slow_counters, _ = _best_run(
             db, compiled, False, repeats
         )
-        if fast_rows != slow_rows:
+        if fast_rows != slow_rows or tiered_rows != slow_rows:
             raise AssertionError(f"{name}: fast VM rows differ")
         if fast_counters != slow_counters:
             raise AssertionError(
                 f"{name}: fast VM counters differ "
                 f"(fast {fast_counters} vs interp {slow_counters})"
             )
+        if tiered_counters != slow_counters:
+            raise AssertionError(
+                f"{name}: tiered counters differ "
+                f"(tiered {tiered_counters} vs interp {slow_counters})"
+            )
+        if tier < 2:
+            raise AssertionError(
+                f"{name}: tiered run never reached tier 2 (tier {tier})"
+            )
         speedup = slow_s / fast_s
+        tiered_speedup = _median(ratios)
         per_query[name] = {
             "compile_s": round(compile_s, 4),
             "fast_s": round(fast_s, 4),
+            "tiered_s": round(tiered_s, 4),
             "interp_s": round(slow_s, 4),
             "speedup": round(speedup, 3),
+            "tiered_speedup": round(tiered_speedup, 3),
         }
         emit(
             f"{name}: interp {slow_s * 1000:7.1f} ms   "
-            f"fast {fast_s * 1000:7.1f} ms   {speedup:5.2f}x"
+            f"fast {fast_s * 1000:7.1f} ms   "
+            f"tiered {tiered_s * 1000:7.1f} ms   "
+            f"{speedup:5.2f}x   t2 {tiered_speedup:5.2f}x"
         )
     geomean = math.exp(
         sum(math.log(q["speedup"]) for q in per_query.values())
         / len(per_query)
     )
+    tiered_geomean = math.exp(
+        sum(math.log(q["tiered_speedup"]) for q in per_query.values())
+        / len(per_query)
+    )
+    stable = [
+        per_query[n]["tiered_speedup"]
+        for n in PROFILE_STABLE_QUERIES
+        if n in per_query
+    ]
+    stable_geomean = (
+        math.exp(sum(math.log(s) for s in stable) / len(stable))
+        if stable
+        else 1.0
+    )
     emit(f"geomean speedup: {geomean:.3f}x over {len(per_query)} queries")
+    emit(
+        f"tiered geomean: {tiered_geomean:.3f}x over tier 1 "
+        f"({stable_geomean:.3f}x on the profile-stable subset)"
+    )
     return {
         "scale": scale,
         "seed": seed,
         "repeats": repeats,
         "queries": per_query,
         "geomean_speedup": round(geomean, 3),
+        "tiered_geomean_speedup": round(tiered_geomean, 3),
+        "tiered_stable_geomean_speedup": round(stable_geomean, 3),
     }
 
 
 def format_table(record: dict) -> str:
     """Render one run record as the benchmark-suite report table."""
     lines = [
-        f"{'query':<6} {'interp (ms)':>12} {'fast (ms)':>12} {'speedup':>9}"
+        f"{'query':<6} {'interp (ms)':>12} {'fast (ms)':>12} "
+        f"{'tiered (ms)':>12} {'speedup':>9} {'t2/t1':>8}"
     ]
     for name, q in record["queries"].items():
+        tiered_s = q.get("tiered_s")
+        tiered_speedup = q.get("tiered_speedup")
         lines.append(
             f"{name:<6} {q['interp_s'] * 1000:>12.1f} "
-            f"{q['fast_s'] * 1000:>12.1f} {q['speedup']:>8.2f}x"
+            f"{q['fast_s'] * 1000:>12.1f} "
+            + (
+                f"{tiered_s * 1000:>12.1f} "
+                if tiered_s is not None
+                else f"{'-':>12} "
+            )
+            + f"{q['speedup']:>8.2f}x"
+            + (
+                f" {tiered_speedup:>7.2f}x"
+                if tiered_speedup is not None
+                else f" {'-':>8}"
+            )
         )
     lines.append(f"geomean speedup: {record['geomean_speedup']:.3f}x")
+    if "tiered_geomean_speedup" in record:
+        lines.append(
+            "tiered geomean: "
+            f"{record['tiered_geomean_speedup']:.3f}x over tier 1"
+        )
     return "\n".join(lines)
 
 
