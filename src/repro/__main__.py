@@ -125,6 +125,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _bench_main(argv[1:], out)
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:], out)
+    if argv and argv[0] == "storage":
+        return _storage_main(argv[1:], out)
     args = build_parser().parse_args(argv)
     sql = resolve_sql(args)
     try:
@@ -339,6 +341,11 @@ def _fuzz_main(argv: list[str], out) -> int:
              "copies on shared workers vs a single-query run)",
     )
     parser.add_argument(
+        "--no-storage", action="store_true",
+        help="skip the storage-layout twin configs (plain vs zone-mapped "
+             "vs compressed physical layouts over the same rows)",
+    )
+    parser.add_argument(
         "--no-shrink", action="store_true",
         help="report failures without minimizing them",
     )
@@ -367,6 +374,7 @@ def _fuzz_main(argv: list[str], out) -> int:
         check_pgo=not args.no_pgo,
         check_vm_parity=not args.no_vm_parity,
         check_serve=not args.no_serve,
+        check_storage=not args.no_storage,
         inject_fault="invert-first-cmpeq" if args.inject_miscompile else None,
         time_limit=args.time_limit,
         corpus_dir=args.corpus,
@@ -631,6 +639,65 @@ def _serve_main(argv: list[str], out) -> int:
         print(f"PGO feedback recorded under {args.pgo_store}", file=out)
     if args.strict and not summary.clean:
         return 1
+    return 0
+
+
+def _storage_main(argv: list[str], out) -> int:
+    """``python -m repro storage``: inspect the physical table layout."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro storage",
+        description="Print the columnar storage layout of the TPC-H "
+                    "database: shards, segments, chosen encodings, "
+                    "compression ratios, and zone-map ranges.  With "
+                    "--query, run that query first so the summary also "
+                    "shows observed zone-map pruning and loader advice.",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.001,
+        help="TPC-H scale factor (default 0.001)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--segment-rows", type=int, default=None,
+        help="rows per segment (power of two; default from StorageConfig)",
+    )
+    parser.add_argument(
+        "--plain", action="store_true",
+        help="build the uncompressed layout instead of the encoded one",
+    )
+    parser.add_argument(
+        "--query", choices=sorted(ALL_QUERIES), default=None,
+        help="run this TPC-H query before summarizing, to populate the "
+             "observed zone-map pruning counters",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.errors import ReproError
+    from repro.storage import StorageConfig
+
+    kwargs = {}
+    if args.segment_rows is not None:
+        kwargs["segment_rows"] = args.segment_rows
+    try:
+        config = (
+            StorageConfig.pruned(**kwargs) if args.plain
+            else StorageConfig(**kwargs)
+        )
+        database = Database.tpch(
+            scale=args.scale, seed=args.seed, storage=config
+        )
+        if args.query:
+            database.execute(ALL_QUERIES[args.query].sql)
+    except ReproError as error:
+        print(str(error), file=out)
+        return 1
+    print(database.storage.summary(), file=out)
+    advice = database.storage.encoding_advice()
+    if advice:
+        print(file=out)
+        print("loader advice:", file=out)
+        for line in advice:
+            print(f"  {line}", file=out)
     return 0
 
 

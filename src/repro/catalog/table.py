@@ -32,6 +32,10 @@ class Table:
         self.schema = schema
         self.columns: list[list] = [[] for _ in schema]
         self.encoded = False
+        # physical clustering key: repro.storage sorts rows by it, builds
+        # the shard spine index over it, and loaders declare it to match
+        # generation order (so sorting is normally the identity)
+        self.sort_key: str | None = None
         self._stats: list[ColumnStats | None] = [None] * len(schema)
 
     @property
@@ -87,7 +91,14 @@ class Table:
         return self.columns[self.schema.index_of(name)]
 
     def stats_for(self, column_index: int) -> ColumnStats:
-        """Compute (and cache) statistics for one column."""
+        """Statistics for one column.
+
+        When ``repro.storage`` has loaded this table the cache is already
+        filled from the loader's single segment pass (zone-map min/max,
+        exact distinct as the union of per-segment value sets), so no
+        full-column pass runs here; the fallback below serves raw
+        catalogs that were never storage-loaded (unit tests).
+        """
         cached = self._stats[column_index]
         if cached is not None:
             return cached

@@ -40,6 +40,12 @@ class DataEnvironment(Protocol):
         """Register a kernel sort descriptor; returns its id."""
         ...
 
+    def table_storage(self, table_name: str):
+        """The table's :class:`repro.storage.TableStorage`, or None for a
+        flat (storage-less) environment.  Codegen probes this with
+        ``getattr`` so minimal environments need not implement it."""
+        ...
+
 
 @dataclass
 class HashTableSpec:

@@ -157,9 +157,28 @@ class PipelineCodegen:
     # drivers
 
     def _emit_scan(self, task: Task, op: PhysicalScan, index: int) -> None:
+        storage = None
+        env_storage = getattr(self.ctx.env, "table_storage", None)
+        if env_storage is not None:
+            storage = env_storage(op.table.name)
+        if storage is None:
+            row_count = self.ctx.env.row_count(op.table.name)
+            self.meta.pipeline_domains[self.pipeline.index] = (
+                "rows", row_count,
+            )
+            self._emit_flat_scan(task, op, index, {
+                column: self.ctx.env.column_address(op.table.name, column)
+                for column in op.column_ius
+            })
+            return
+        self._emit_storage_scan(task, op, index, storage)
+
+    def _emit_flat_scan(
+        self, task: Task, op: PhysicalScan, index: int,
+        address_of: dict[str, int],
+    ) -> None:
+        """The classic single-loop scan over contiguous columns."""
         b = self.b
-        row_count = self.ctx.env.row_count(op.table.name)
-        self.meta.pipeline_domains[self.pipeline.index] = ("rows", row_count)
         loop = b.block("loopTuples")
         body = b.block("scanBody")
         cont = b.block("contScan")
@@ -173,7 +192,7 @@ class PipelineCodegen:
 
         b.set_block(body)
         for column, iu in op.column_ius.items():
-            address = self.ctx.env.column_address(op.table.name, column)
+            address = address_of[column]
 
             def emit_load(address=address, column=column):
                 base = b.const(address, Type.PTR)
@@ -190,6 +209,411 @@ class PipelineCodegen:
         next_tid = b.add(tid, b.const(1))
         b.add_incoming(tid, next_tid, cont)
         b.br(loop)
+
+    # -- storage-backed scans ------------------------------------------
+
+    def _zone_bounds(
+        self, op: PhysicalScan, index: int
+    ) -> tuple[dict[str, tuple], int]:
+        """Compile-time zone-map pushdown: per scan column, the conjunct-
+        implied inclusive ``[lo, hi]`` window (either side may be None),
+        plus the pipeline position of the filter the bounds came from.
+
+        Only the *first* filter task after the scan is harvested, and
+        only map tasks (pure, 1:1) may sit in between: a segment whose
+        ``[min, max]`` misses that filter's window would have reached it
+        whole and been dropped there entirely, so skipping it changes
+        nothing observable — and the rows it would have pushed through
+        the intermediate maps into the filter are a known, exact count
+        (the PGO tuple counters are bulk-compensated on the skip path).
+        Filters further downstream are out: an intervening filter's
+        selectivity on the skipped rows is unknowable.  Float columns
+        are left alone so zone comparisons stay pure integer compares.
+        """
+        from repro.plan.expr import CompareExpr, ConstExpr, InSetExpr, IURef
+
+        name_of = {iu.id: column for column, iu in op.column_ius.items()}
+        float_ius = {
+            iu.id for iu in op.column_ius.values()
+            if iu.dtype is DataType.FLOAT
+        }
+        bounds: dict[str, list] = {}
+
+        def narrow(iu_id: int, lo, hi) -> None:
+            if iu_id not in name_of or iu_id in float_ius:
+                return
+            window = bounds.setdefault(name_of[iu_id], [None, None])
+            if lo is not None and (window[0] is None or lo > window[0]):
+                window[0] = lo
+            if hi is not None and (window[1] is None or hi < window[1]):
+                window[1] = hi
+
+        filter_position = index
+        for position in range(index + 1, len(self.pipeline.tasks)):
+            later = self.pipeline.tasks[position]
+            if later.role == "map":
+                continue
+            if later.role != "filter":
+                break
+            filter_position = position
+            for conjunct in conjuncts(later.operator.condition):
+                if isinstance(conjunct, InSetExpr):
+                    operand = conjunct.operand
+                    values = conjunct.values
+                    if (
+                        isinstance(operand, IURef) and values
+                        and all(isinstance(v, int) for v in values)
+                    ):
+                        narrow(operand.iu.id, min(values), max(values))
+                    continue
+                if not isinstance(conjunct, CompareExpr):
+                    continue
+                left, right, cmp_op = conjunct.left, conjunct.right, conjunct.op
+                if isinstance(right, IURef) and isinstance(left, ConstExpr):
+                    left, right = right, left
+                    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+                    cmp_op = flip.get(cmp_op, cmp_op)
+                if not (
+                    isinstance(left, IURef)
+                    and isinstance(right, ConstExpr)
+                    and isinstance(right.value, int)
+                ):
+                    continue
+                v = right.value
+                if cmp_op == "<":
+                    narrow(left.iu.id, None, v - 1)
+                elif cmp_op == "<=":
+                    narrow(left.iu.id, None, v)
+                elif cmp_op == ">":
+                    narrow(left.iu.id, v + 1, None)
+                elif cmp_op == ">=":
+                    narrow(left.iu.id, v, None)
+                elif cmp_op == "=":
+                    narrow(left.iu.id, v, v)
+            break  # only the first filter is harvested (see docstring)
+        return (
+            {column: (lo, hi) for column, (lo, hi) in bounds.items()},
+            filter_position,
+        )
+
+    def _emit_storage_scan(
+        self, task: Task, op: PhysicalScan, index: int, storage
+    ) -> None:
+        """Segment-at-a-time scan over the columnar layout.
+
+        Structure: an outer loop walks the segments a morsel overlaps;
+        per segment the directory supplies decode parameters and zone
+        min/max (pruned segments jump straight to the next one, counting
+        the skip); the inner loop decodes the column's encoding inline —
+        so skipping, decode cost, and stride are all ordinary generated
+        instructions the cycle/cache/PMU machinery observes.
+        """
+        from repro.storage import (
+            DIR_DATA, DIR_MAX, DIR_MIN, DIR_PARAM, DIR_STRIDE, Encoding,
+        )
+
+        b = self.b
+        config = storage.config
+        seg_rows = config.segment_rows
+        log2_seg = seg_rows.bit_length() - 1
+        schema = op.table.schema
+        columns = [
+            (column, iu, storage.column(schema.index_of(column)))
+            for column, iu in op.column_ius.items()
+        ]
+        bounds, filter_position = (
+            self._zone_bounds(op, index) if config.prune else ({}, index)
+        )
+        # counters of the tasks the skipped rows would have reached (all
+        # maps plus the harvested filter itself): bulk-compensated so PGO
+        # cardinalities match an unpruned execution exactly
+        compensate = [
+            (t.id, self.meta.task_counter_of[t.id])
+            for t in self.pipeline.tasks[index + 1 : filter_position + 1]
+            if t.id in self.meta.task_counter_of
+        ]
+
+        # compile-time zone-map consultation: the spine index narrows the
+        # scanned row range when the clustered key itself is bounded
+        row_base, row_end = 0, storage.row_count
+        if storage.sort_key in bounds:
+            row_base, row_end = storage.prune_range(
+                storage.sort_key, *bounds[storage.sort_key]
+            )
+        total = max(0, row_end - row_base)
+        self.meta.pipeline_domains[self.pipeline.index] = ("rows", total)
+
+        if not bounds and row_base == 0 and all(
+            col.encoding is Encoding.PLAIN for _, _, col in columns
+        ):
+            # all-plain, nothing to skip: the flat loop is byte- and
+            # instruction-identical, so keep the classic shape
+            self._emit_flat_scan(task, op, index, {
+                column: col.plain_addr for column, _, col in columns
+            })
+            return
+
+        zone_slot = None
+        if bounds:
+            from repro.codegen.querygen import ZoneSlot
+
+            zone_slot = ZoneSlot(
+                considered_offset=self.ctx.state.reserve(
+                    f"zone_considered_{op.op_id}", 1
+                ),
+                table_name=op.table.name,
+                static_excluded=storage.row_count - total,
+                compensate_task_ids=tuple(t for t, _ in compensate),
+            )
+            for column in sorted(bounds):
+                zone_slot.skip_offsets.append((
+                    schema.index_of(column),
+                    self.ctx.state.reserve(
+                        f"zone_skips_{op.op_id}_{column}", 1
+                    ),
+                ))
+            self.meta.zone_slots[op.op_id] = zone_slot
+
+        # blocks are created in control-flow order (the backend requires
+        # defs to precede uses in block order); skip-block bodies are
+        # filled in once contSegment exists
+        seg_loop = b.block("loopSegments")
+        seg_head = b.block("segHead")
+
+        # entry: absolute morsel range, first segment base
+        if row_base:
+            abs_begin = b.add(self.begin, b.const(row_base))
+            abs_end = b.add(self.end, b.const(row_base))
+        else:
+            abs_begin, abs_end = self.begin, self.end
+        seg_first = b.and_(abs_begin, b.const(~(seg_rows - 1)))
+        entry_pred = b.current
+        b.br(seg_loop)
+
+        b.set_block(seg_loop)
+        seg_base = b.phi(Type.I64)
+        b.add_incoming(seg_base, seg_first, entry_pred)
+        seg_done = b.cmp("cmpge", seg_base, abs_end)
+        b.condbr(seg_done, self.exit_block, seg_head)
+
+        # segment head: directory pointers, zone checks
+        b.set_block(seg_head)
+        seg_idx = b.shr(seg_base, b.const(log2_seg))
+        dir_ptrs: dict[str, object] = {}
+        for column in sorted(
+            set(bounds) | {name for name, _, _ in columns},
+            key=schema.index_of,
+        ):
+            col = storage.column(schema.index_of(column))
+            dir_ptrs[column] = b.gep(
+                b.const(col.dir_addr, Type.PTR), seg_idx, scale=DIR_STRIDE,
+            )
+        if zone_slot is not None:
+            addr = self._state_addr(zone_slot.considered_offset)
+            b.store(addr, b.add(b.load(addr), b.const(1)))
+        skip_offset_of = dict(
+            (schema.columns[index].name, offset)
+            for index, offset in (zone_slot.skip_offsets if zone_slot else [])
+        )
+        skip_blocks: list[tuple[str, object]] = []
+        for column in sorted(bounds, key=schema.index_of):
+            lo, hi = bounds[column]
+            skip = b.block(f"skipSeg_{column}")
+            skip_blocks.append((column, skip))
+            for bound, dir_off, cmp_op in (
+                (lo, DIR_MAX, "cmplt"),  # whole segment below the window
+                (hi, DIR_MIN, "cmpgt"),  # whole segment above the window
+            ):
+                if bound is None:
+                    continue
+                zone = b.load(
+                    b.gep(dir_ptrs[column], None, offset=dir_off),
+                    comment=f"zone {column}",
+                )
+                scan_on = b.block("zoneNext")
+                b.condbr(b.cmp(cmp_op, zone, b.const(bound)), skip, scan_on)
+                b.set_block(scan_on)
+
+        # segment prep: morsel-clamped row range + per-encoding parameters
+        row_lo = b.max(seg_base, abs_begin)
+        row_hi = b.min(b.add(seg_base, b.const(seg_rows)), abs_end)
+        plain_base: dict[str, object] = {}
+        frame_of: dict[str, object] = {}
+        data_of: dict[str, object] = {}
+        aux_of: dict[str, object] = {}
+        rle_seeds: list[tuple[str, object, object]] = []
+        for column, _, col in columns:
+            dir_ptr = dir_ptrs[column]
+            if col.encoding is Encoding.PLAIN:
+                data = b.load(
+                    b.gep(dir_ptr, None, offset=DIR_DATA), Type.PTR,
+                    comment=f"seg {column}",
+                )
+                # bias by the segment base once, so the inner loop indexes
+                # with tid exactly like the flat layout does
+                plain_base[column] = b.sub(data, b.shl(seg_base, b.const(3)))
+            elif col.encoding is Encoding.FOR:
+                frame_of[column] = b.load(
+                    b.gep(dir_ptr, None, offset=DIR_PARAM),
+                    comment=f"frame {column}",
+                )
+                if col.bits:
+                    data_of[column] = b.load(
+                        b.gep(dir_ptr, None, offset=DIR_DATA), Type.PTR,
+                        comment=f"seg {column}",
+                    )
+            elif col.encoding is Encoding.DICT:
+                data_of[column] = b.load(
+                    b.gep(dir_ptr, None, offset=DIR_DATA), Type.PTR,
+                    comment=f"seg {column}",
+                )
+                aux_of[column] = b.load(
+                    b.gep(dir_ptr, None, offset=DIR_PARAM), Type.PTR,
+                    comment=f"dict {column}",
+                )
+            else:  # RLE
+                data_of[column] = b.load(
+                    b.gep(dir_ptr, None, offset=DIR_DATA), Type.PTR,
+                    comment=f"runs {column}",
+                )
+                aux_of[column] = b.load(
+                    b.gep(dir_ptr, None, offset=DIR_PARAM), Type.PTR,
+                    comment=f"ends {column}",
+                )
+        # position each RLE run cursor at the morsel's first row: runs end
+        # at cumulative offsets, so seek while the row is past the end
+        if any(col.encoding is Encoding.RLE for _, _, col in columns):
+            rel_lo = b.sub(row_lo, seg_base)
+        for column, _, col in columns:
+            if col.encoding is not Encoding.RLE:
+                continue
+            seek = b.block(f"seekRun_{column}")
+            bump = b.block(f"seekNext_{column}")
+            done = b.block(f"seekDone_{column}")
+            seek_pred = b.current
+            b.br(seek)
+            b.set_block(seek)
+            run = b.phi(Type.I64)
+            b.add_incoming(run, b.const(0), seek_pred)
+            run_end = b.load(b.gep(aux_of[column], run, scale=8))
+            b.condbr(b.cmp("cmpge", rel_lo, run_end), bump, done)
+            b.set_block(bump)
+            b.add_incoming(run, b.add(run, b.const(1)), bump)
+            b.br(seek)
+            b.set_block(done)
+            rle_seeds.append((column, run, b.current))
+        prep_pred = b.current
+        row_loop = b.block("loopTuples")
+        row_body = b.block("scanBody")
+        cont_row = b.block("contScan")
+        cont_seg = b.block("contSegment")
+        b.br(row_loop)
+
+        # deferred skip-block bodies (needed contSegment to exist)
+        for column, skip in skip_blocks:
+            b.set_block(skip)
+            addr = self._state_addr(skip_offset_of[column])
+            b.store(addr, b.add(b.load(addr), b.const(1)))
+            if compensate:
+                # the skipped rows would have flowed through every map and
+                # died at the harvested filter: credit their counters with
+                # this segment's share of the morsel, so PGO tuple counts
+                # equal an unpruned run's
+                overlap = b.sub(
+                    b.min(b.add(seg_base, b.const(seg_rows)), abs_end),
+                    b.max(seg_base, abs_begin),
+                )
+                for _task_id, offset in compensate:
+                    caddr = self._state_addr(offset)
+                    b.store(caddr, b.add(b.load(caddr), overlap))
+            b.br(cont_seg)
+
+        # inner loop over the segment's slice of the morsel
+        b.set_block(row_loop)
+        tid = b.phi(Type.I64)
+        b.add_incoming(tid, row_lo, prep_pred)
+        run_phis: dict[str, object] = {}
+        for column, seed, seed_pred in rle_seeds:
+            run = b.phi(Type.I64)
+            b.add_incoming(run, seed, prep_pred)
+            run_phis[column] = run
+        row_done = b.cmp("cmpge", tid, row_hi)
+        b.condbr(row_done, cont_seg, row_body)
+
+        b.set_block(row_body)
+        rel = None
+        if any(
+            col.encoding in (Encoding.FOR, Encoding.DICT)
+            and col.bits for _, _, col in columns
+        ):
+            rel = b.sub(tid, seg_base)
+
+        def unpack(column, col, rel):
+            """Inline shift/mask decode of a packed value."""
+            per_word = 64 // col.bits
+            word = b.load(
+                b.gep(
+                    data_of[column],
+                    b.shr(rel, b.const(per_word.bit_length() - 1)),
+                    scale=8,
+                ),
+                comment=f"col {column}",
+            )
+            shift = b.shl(
+                b.and_(rel, b.const(per_word - 1)),
+                b.const(col.bits.bit_length() - 1),
+            )
+            return b.and_(b.shr(word, shift), b.const((1 << col.bits) - 1))
+
+        for column, iu, col in columns:
+            if col.encoding is Encoding.PLAIN:
+                def emit(column=column):
+                    return b.load(
+                        b.gep(plain_base[column], tid, scale=8),
+                        comment=f"col {column}",
+                    )
+            elif col.encoding is Encoding.FOR:
+                def emit(column=column, col=col):
+                    if not col.bits:  # constant segment: the frame is it
+                        return frame_of[column]
+                    return b.add(frame_of[column], unpack(column, col, rel))
+            elif col.encoding is Encoding.DICT:
+                def emit(column=column, col=col):
+                    return b.load(
+                        b.gep(aux_of[column], unpack(column, col, rel), scale=8),
+                        comment=f"dict {column}",
+                    )
+            else:  # RLE: the cursor phi tracks the current run
+                def emit(column=column):
+                    return b.load(
+                        b.gep(data_of[column], run_phis[column], scale=8),
+                        comment=f"run {column}",
+                    )
+            self.tuples.provide(iu, task, emit)
+
+        self.skip_targets.append(cont_row)
+        self._continue(index)
+        self.skip_targets.pop()
+        self._ensure_jump(cont_row)
+
+        b.set_block(cont_row)
+        next_tid = b.add(tid, b.const(1))
+        b.add_incoming(tid, next_tid, cont_row)
+        if rle_seeds:
+            next_rel = b.sub(next_tid, seg_base)
+            for column, _, _ in rle_seeds:
+                run = run_phis[column]
+                run_end = b.load(b.gep(aux_of[column], run, scale=8))
+                # consecutive rows cross at most one run boundary; the
+                # BOOL compare adds as 0/1
+                advanced = b.add(run, b.cmp("cmpge", next_rel, run_end))
+                b.add_incoming(run, advanced, cont_row)
+        b.br(row_loop)
+
+        b.set_block(cont_seg)
+        next_seg = b.add(seg_base, b.const(seg_rows))
+        b.add_incoming(seg_base, next_seg, cont_seg)
+        b.br(seg_loop)
 
     def _emit_ht_scan_loop(
         self, task: Task, ht: HashTableSpec, emit_entry_body

@@ -54,6 +54,23 @@ from repro.vm.kernel import K_ALLOC, SortDescriptor, SortKey
 
 
 @dataclass
+class ZoneSlot:
+    """State offsets of one scan's zone-map counters: the generated
+    segment loop counts considered segments and, per pruned column,
+    skipped segments; the engine harvests them after every run."""
+
+    considered_offset: int
+    table_name: str
+    # (schema column index, state byte offset of its skip counter)
+    skip_offsets: list[tuple[int, int]] = field(default_factory=list)
+    # rows removed by compile-time spine narrowing: they never enter any
+    # morsel, so the engine adds them back to the PGO tuple counters of
+    # the tasks below (ids), keeping observed cardinalities layout-free
+    static_excluded: int = 0
+    compensate_task_ids: tuple = ()
+
+
+@dataclass
 class QueryPlanMeta:
     """Per-operator physical metadata shared by all pipeline generators."""
 
@@ -75,6 +92,9 @@ class QueryPlanMeta:
     # task id -> state byte offset of its entry counter (PGO tuple counts);
     # populated only when generating with count_tuples=True
     task_counter_of: dict[int, int] = field(default_factory=dict)
+    # scan op id -> its zone-map counter slots (storage-backed scans with
+    # at least one prunable predicate)
+    zone_slots: dict[int, ZoneSlot] = field(default_factory=dict)
 
 
 @dataclass

@@ -257,3 +257,18 @@ def generate_tpch(catalog: Catalog, scale: float = 0.001, seed: int = 42) -> Non
             0,
             _comment(rng, special=(rng.random() < 0.02)),
         ))
+
+    # declare the physical clustering keys for the storage engine: the
+    # generators above already emit rows in this order, so the loader's
+    # stable sort is the identity — lineitem keeps its l_orderkey
+    # clustering (Fig. 10/11 depends on it), and because orderdate is
+    # correlated with orderkey, date columns are *nearly* clustered too,
+    # which is exactly what makes zone maps prune date-range scans
+    region.sort_key = "r_regionkey"
+    nation.sort_key = "n_nationkey"
+    supplier.sort_key = "s_suppkey"
+    customer.sort_key = "c_custkey"
+    part.sort_key = "p_partkey"
+    partsupp.sort_key = "ps_partkey"
+    orders.sort_key = "o_orderkey"
+    lineitem.sort_key = "l_orderkey"

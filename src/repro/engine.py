@@ -43,6 +43,7 @@ from repro.profiling.tagging import TaggingDictionary
 from repro.sql import parse
 from repro.sql.ast import _rewrite_ast_children
 from repro.sql.binder import Binder
+from repro.storage import StorageConfig, StorageEngine
 from repro.vm import CodeRegion, Machine, Memory, Program
 from repro.vm.kernel import Kernel, install_kernel_stubs
 from repro.vm import costs
@@ -105,6 +106,10 @@ class QueryResult:
     cycles: int
     instructions: int
     tier: int = 1
+    # retired memory operations, summed over workers: loads * 8 is the
+    # "simulated bytes touched" metric storage benchmarks compare
+    loads: int = 0
+    stores: int = 0
 
     def __iter__(self):
         return iter(self.rows)
@@ -149,6 +154,11 @@ class _QueryEnvironment:
     def row_count(self, table_name: str) -> int:
         return self._db.catalog.table(table_name).row_count
 
+    def table_storage(self, table_name: str):
+        if self._db.storage is None:
+            return None
+        return self._db.storage.table(table_name)
+
     def bitmap(self, values: frozenset) -> tuple[int, int]:
         cached = self._bitmaps.get(values)
         if cached is not None:
@@ -172,9 +182,15 @@ class _QueryEnvironment:
 class Database:
     """A single-node, in-memory, compiling relational database."""
 
-    def __init__(self, memory_bytes: int = 1 << 22):
+    def __init__(
+        self,
+        memory_bytes: int = 1 << 22,
+        storage: StorageConfig | None = None,
+    ):
         self.catalog = Catalog()
         self.memory = Memory(memory_bytes)
+        self.storage_config = storage or StorageConfig()
+        self.storage: StorageEngine | None = None
         self._column_addresses: dict[tuple[str, str], int] = {}
         self._year_table_addr = 0
         self._ready = False
@@ -213,15 +229,25 @@ class Database:
     # -- construction -------------------------------------------------------
 
     @classmethod
-    def tpch(cls, scale: float = 0.001, seed: int = 42) -> "Database":
-        db = cls(memory_bytes=1 << 24)
+    def tpch(
+        cls,
+        scale: float = 0.001,
+        seed: int = 42,
+        storage: StorageConfig | None = None,
+    ) -> "Database":
+        db = cls(memory_bytes=1 << 24, storage=storage)
         generate_tpch(db.catalog, scale=scale, seed=seed)
         db.finalize()
         return db
 
     @classmethod
-    def example(cls, n_sales: int = 5000, n_products: int = 200) -> "Database":
-        db = cls()
+    def example(
+        cls,
+        n_sales: int = 5000,
+        n_products: int = 200,
+        storage: StorageConfig | None = None,
+    ) -> "Database":
+        db = cls(storage=storage)
         generate_example(db.catalog, n_sales=n_sales, n_products=n_products)
         db.finalize()
         return db
@@ -230,16 +256,23 @@ class Database:
         return self.catalog.create_table(name, schema)
 
     def finalize(self) -> None:
-        """Freeze the dictionary, encode tables, load columns into memory."""
+        """Freeze the dictionary, encode tables, build the physical layout.
+
+        The storage engine owns the layout of every table: sharded,
+        segment-encoded columns behind per-column directories (see
+        repro.storage).  Columns whose encoding stayed plain remain one
+        contiguous array, so their flat address survives for codegen's
+        single-loop fast path and for the memory-profile report."""
         self.catalog.finalize()
-        for table in self.catalog.tables.values():
-            for column_def, column in zip(table.schema, table.columns):
-                addr = self.memory.alloc(
-                    max(8, len(column) * 8), f"{table.name}.{column_def.name}"
-                )
-                base = addr // 8
-                self.memory.words[base : base + len(column)] = list(column)
-                self._column_addresses[(table.name, column_def.name)] = addr
+        self.storage = StorageEngine.build(
+            self.catalog, self.memory, self.storage_config
+        )
+        for table_name, table_storage in self.storage.tables.items():
+            for column in table_storage.columns:
+                if column.plain_addr is not None:
+                    self._column_addresses[(table_name, column.name)] = (
+                        column.plain_addr
+                    )
         self._build_year_table()
         self._ready = True
 
@@ -395,6 +428,10 @@ class Database:
             )
 
         tagging = TaggingDictionary()
+        if self.storage is not None:
+            # the storage dimension: sampled memory addresses resolve to
+            # (table, column, shard, segment, encoding)
+            tagging.storage_resolver = self.storage.resolve
         pipelines = decompose(physical, on_task=tagging.register_task)
 
         program = Program()
@@ -598,6 +635,27 @@ class Database:
                 task_id: self.memory.read(state_addr + offset)
                 for task_id, offset in query_ir.meta.task_counter_of.items()
             }
+            # rows the spine index excluded at compile time never entered
+            # a morsel: add them back so observed cardinalities are
+            # independent of the physical layout
+            for slot in query_ir.meta.zone_slots.values():
+                if not slot.static_excluded:
+                    continue
+                for task_id in slot.compensate_task_ids:
+                    if task_id in task_counts:
+                        task_counts[task_id] += slot.static_excluded
+            # likewise the zone-map counters: observed pruning flows back
+            # into the storage engine's statistics (loader feedback)
+            if self.storage is not None:
+                for slot in query_ir.meta.zone_slots.values():
+                    considered = self.memory.read(
+                        state_addr + slot.considered_offset
+                    )
+                    for column_index, offset in slot.skip_offsets:
+                        self.storage.note_pruning(
+                            slot.table_name, column_index, considered,
+                            self.memory.read(state_addr + offset),
+                        )
             rows = [
                 self._decode_row(raw, compiled.physical.columns)
                 for raw in output
@@ -750,6 +808,8 @@ class Database:
             cycles=max(m.state.cycles for m in machines),
             instructions=sum(m.state.instructions for m in machines),
             tier=max(getattr(m, "ran_tier", m.tier) for m in machines),
+            loads=sum(m.state.loads for m in machines),
+            stores=sum(m.state.stores for m in machines),
         )
 
     def execute(

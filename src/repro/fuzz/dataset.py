@@ -111,9 +111,15 @@ class Dataset:
         return json.dumps(self.to_json(), indent=1)
 
 
-def build_database(dataset: Dataset, memory_bytes: int = 1 << 22) -> Database:
-    """Materialize a dataset as a ready-to-query database."""
-    db = Database(memory_bytes=memory_bytes)
+def build_database(
+    dataset: Dataset, memory_bytes: int = 1 << 22, storage=None
+) -> Database:
+    """Materialize a dataset as a ready-to-query database.
+
+    ``storage`` is an optional :class:`repro.storage.StorageConfig`; the
+    oracle uses it to build twin databases over the same rows with
+    different physical layouts (plain / zone-mapped / compressed)."""
+    db = Database(memory_bytes=memory_bytes, storage=storage)
     for table in dataset.tables.values():
         created = db.catalog.create_table(
             table.name,

@@ -20,6 +20,11 @@ from repro.fuzz.dataset import Dataset, build_database, random_dataset
 from repro.fuzz.generator import QueryGenerator
 from repro.fuzz.oracle import CheckResult, DifferentialOracle
 from repro.fuzz.shrink import Shrinker
+from repro.storage import StorageConfig
+
+#: storage twins use deliberately tiny segments so even fuzz-sized tables
+#: split into many segments with live zone maps
+TWIN_SEGMENT_ROWS = 16
 
 # a per-dataset cap on consecutive binder rejections: the generator is
 # ~99% valid, so hitting this means it has a systematic grammar gap
@@ -88,6 +93,7 @@ def run_fuzz(
     check_pgo: bool = True,
     check_vm_parity: bool = True,
     check_serve: bool = True,
+    check_storage: bool = True,
     inject_fault: str | None = None,
     time_limit: float | None = None,
     corpus_dir: str | Path | None = None,
@@ -103,6 +109,7 @@ def run_fuzz(
     dataset: Dataset | None = None
     db = None
     generator = None
+    storage_twins: dict = {}
 
     for index in range(budget):
         if time_limit is not None and time.monotonic() - started > time_limit:
@@ -112,12 +119,35 @@ def run_fuzz(
             dataset_seed = master.randint(0, 2**31 - 1)
             dataset = random_dataset(dataset_seed)
             db = build_database(dataset)
+            if check_storage:
+                # the same rows under three physical layouts: flat,
+                # zone-mapped (byte-identical to flat), and compressed
+                storage_twins = {
+                    "plain": build_database(
+                        dataset,
+                        storage=StorageConfig.plain(
+                            segment_rows=TWIN_SEGMENT_ROWS
+                        ),
+                    ),
+                    "pruned": build_database(
+                        dataset,
+                        storage=StorageConfig.pruned(
+                            segment_rows=TWIN_SEGMENT_ROWS
+                        ),
+                    ),
+                    "encoded": build_database(
+                        dataset,
+                        storage=StorageConfig(
+                            segment_rows=TWIN_SEGMENT_ROWS
+                        ),
+                    ),
+                }
             generator = QueryGenerator(dataset, Random(master.randint(0, 2**31 - 1)))
             report.datasets += 1
         oracle = DifferentialOracle(
             db, max_hints=max_hints, check_pgo=check_pgo,
             check_vm_parity=check_vm_parity, check_serve=check_serve,
-            inject_fault=inject_fault,
+            inject_fault=inject_fault, storage_twins=storage_twins,
         )
 
         result: CheckResult | None = None

@@ -161,6 +161,7 @@ class DifferentialOracle:
         check_serve: bool = True,
         inject_fault: str | None = None,
         instruction_limit: int = INSTRUCTION_LIMIT,
+        storage_twins: dict | None = None,
     ):
         self.db = db
         self.max_hints = max_hints
@@ -171,6 +172,12 @@ class DifferentialOracle:
         # compile — every healthy executor should then catch the damage
         self.inject_fault = inject_fault
         self.instruction_limit = instruction_limit
+        # name -> Database over the same rows with a different physical
+        # layout; "plain" and "pruned" (when both present) additionally
+        # carry the counter-plausibility contract: identical bytes, so
+        # zone-map skipping may only *save* instructions (modulo the
+        # per-segment bookkeeping budget)
+        self.storage_twins = storage_twins or {}
 
     # -- executor configs ----------------------------------------------------
 
@@ -243,6 +250,8 @@ class DifferentialOracle:
                     ),
                 ))
         outcomes = [self._run(config, thunk) for config, thunk in runs]
+        if self.storage_twins and fault is None:
+            outcomes.extend(self._storage_outcomes(sql))
         if self.check_pgo and fault is None:
             outcomes.extend(self._pgo_outcomes(sql))
         if self.check_serve and fault is None:
@@ -253,6 +262,45 @@ class DifferentialOracle:
             outcomes.append(self._serve_outcome(
                 sql, "serve-tiered", tiering_hot_instructions=1,
             ))
+        return outcomes
+
+    def _storage_outcomes(self, sql: str) -> list[Outcome]:
+        """Physical-layout twins: every layout must produce the same bag,
+        and the pruned twin (byte-identical to plain, zone-map branches
+        added) must not execute more instructions than the plain twin
+        beyond the per-segment bookkeeping budget — pruning that *costs*
+        instructions means the skip logic is wrong even when the answer
+        happens to agree."""
+        outcomes = []
+        results: dict[str, object] = {}
+        for name, twin in self.storage_twins.items():
+
+            def thunk(name=name, twin=twin):
+                result = twin.execute(
+                    sql, instruction_limit=self.instruction_limit
+                )
+                results[name] = result
+                return result
+
+            outcomes.append(self._run(f"storage-{name}", thunk))
+        plain = results.get("plain")
+        pruned = results.get("pruned")
+        if plain is not None and pruned is not None:
+            twin = self.storage_twins["pruned"]
+            segments = max(
+                (t.segment_count for t in twin.storage.tables.values()),
+                default=0,
+            )
+            budget = 128 * (segments + 1)
+            if pruned.instructions > plain.instructions + budget:
+                outcomes.append(Outcome(
+                    "storage-counters", "error",
+                    error=(
+                        "counter plausibility violated: pruned layout ran "
+                        f"{pruned.instructions} instructions vs plain "
+                        f"{plain.instructions} (budget +{budget})"
+                    ),
+                ))
         return outcomes
 
     def _tiered_execute(self, sql: str):

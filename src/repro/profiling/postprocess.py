@@ -41,6 +41,10 @@ class Attribution:
     # register when several in-flight queries share the workers; None for
     # classic single-query profiling runs
     query_id: int | None = None
+    # storage dimension (repro.storage): for memaddr-recording samples
+    # whose address lands in a column segment, the StorageRef naming
+    # (table, column, shard, segment, encoding); None otherwise
+    storage: object = None
 
     @property
     def operators(self) -> tuple[PhysicalOperator, ...]:
@@ -81,6 +85,11 @@ class SampleProcessor:
             # only stamp the query dimension when the high tag half is in
             # use (repro.serve); classic runs keep the None default
             attribution = dataclasses.replace(attribution, query_id=query_id)
+        resolver = self.tagging.storage_resolver
+        if resolver is not None and sample.memaddr is not None:
+            ref = resolver(sample.memaddr)
+            if ref is not None:
+                attribution = dataclasses.replace(attribution, storage=ref)
         return attribution
 
     def _attribute(self, sample: Sample) -> Attribution:
@@ -202,6 +211,21 @@ class SampleProcessor:
         for attribution in attributions:
             key = attribution.query_id
             weights[key] = weights.get(key, 0) + 1
+        return weights
+
+    def storage_weights(
+        self, attributions: list[Attribution]
+    ) -> dict[object, int]:
+        """Sample counts per storage segment (the storage dimension):
+        keys are :class:`repro.storage.StorageRef` values, so one entry
+        names (table, column, shard, segment, encoding, part).  Only
+        memaddr-recording samples that landed in a column segment appear."""
+        weights: dict[object, int] = {}
+        for attribution in attributions:
+            ref = attribution.storage
+            if ref is None:
+                continue
+            weights[ref] = weights.get(ref, 0) + 1
         return weights
 
     def task_weights(self, attributions: list[Attribution]) -> dict[Task, float]:

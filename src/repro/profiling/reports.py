@@ -386,6 +386,10 @@ class MemoryAccessProfile:
     """Per-operator load addresses over time (Fig. 12)."""
 
     accesses: dict[PhysicalOperator, list[tuple[int, int]]]
+    # maps an address to the physical structure it belongs to (set when a
+    # storage engine backs the database); bands are then the named
+    # structures themselves rather than address-gap clusters
+    band_of: "object" = None
 
     def address_range(self, op: PhysicalOperator) -> int:
         points = self.accesses.get(op, [])
@@ -413,12 +417,20 @@ class MemoryAccessProfile:
         if len(points) < 3:
             return 0.0
         ordered = sorted(points, key=lambda p: p[1])
-        bands: list[list[tuple[int, int]]] = [[ordered[0]]]
-        for point in ordered[1:]:
-            if point[1] - bands[-1][-1][1] > gap:
-                bands.append([point])
-            else:
-                bands[-1].append(point)
+        if self.band_of is not None:
+            # compressed layouts pack several small columns within one
+            # gap-sized window; group by the resolved structure instead
+            grouped: dict[object, list[tuple[int, int]]] = {}
+            for point in ordered:
+                grouped.setdefault(self.band_of(point[1]), []).append(point)
+            bands = list(grouped.values())
+        else:
+            bands = [[ordered[0]]]
+            for point in ordered[1:]:
+                if point[1] - bands[-1][-1][1] > gap:
+                    bands.append([point])
+                else:
+                    bands[-1].append(point)
         weighted = 0.0
         counted = 0
         for band in bands:
@@ -535,15 +547,23 @@ def memory_profile(profile) -> MemoryAccessProfile:
             scans_by_table[op.table.name] = op
     extents: list[tuple[int, int, PhysicalOperator]] = []
     db = profile.database
-    for (table_name, _column), addr in db._column_addresses.items():
-        scan = scans_by_table.get(table_name)
-        if scan is None:
-            continue
-        size = max(8, db.catalog.table(table_name).row_count * 8)
-        extents.append((addr, addr + size, scan))
-    extents.sort()
+    storage = getattr(db, "storage", None)
+    if storage is None:
+        # flat layout: one contiguous extent per column
+        for (table_name, _column), addr in db._column_addresses.items():
+            scan = scans_by_table.get(table_name)
+            if scan is None:
+                continue
+            size = max(8, db.catalog.table(table_name).row_count * 8)
+            extents.append((addr, addr + size, scan))
+        extents.sort()
 
     def owner_by_address(addr: int) -> PhysicalOperator | None:
+        if storage is not None:
+            # the storage engine knows every segment's extent (including
+            # packed/dictionary/run data that has no flat column address)
+            ref = storage.resolve(addr)
+            return scans_by_table.get(ref.table) if ref is not None else None
         import bisect
 
         index = bisect.bisect_right(extents, (addr, float("inf"), None)) - 1
@@ -569,4 +589,80 @@ def memory_profile(profile) -> MemoryAccessProfile:
             accesses.setdefault(task.operator, []).append(
                 (attribution.sample.tsc, addr)
             )
-    return MemoryAccessProfile(accesses)
+
+    band_of = None
+    if storage is not None:
+        def band_of(addr, _storage=storage):
+            ref = _storage.resolve(addr)
+            if ref is not None:
+                return (ref.table, ref.column, ref.part)
+            return addr >> 15  # non-storage memory: 32 KiB pages
+    return MemoryAccessProfile(accesses, band_of)
+
+
+# ---------------------------------------------------------------------------
+
+
+def storage_breakdown(profile) -> dict:
+    """The storage dimension: memaddr samples grouped by the physical
+    segment they touched (table, column, shard, segment, encoding, part).
+
+    Requires memaddr-recording sampling and a storage-backed database.
+    Returns ``{(table, column): {"samples": n, "encoding": name,
+    "segments": {segment_index: count}, "parts": {part: count}}}`` sorted
+    by sample count, so a developer can see not just *which column* is hot
+    but which slice of it — and whether time goes to the data itself or
+    to auxiliary structures (dictionaries, run directories)."""
+    weights = profile.processor.storage_weights(profile.attributions)
+    grouped: dict = {}
+    for ref, count in weights.items():
+        entry = grouped.setdefault(
+            (ref.table, ref.column),
+            {"samples": 0, "encoding": ref.encoding,
+             "segments": {}, "parts": {}},
+        )
+        entry["samples"] += count
+        segments = entry["segments"]
+        segments[ref.segment] = segments.get(ref.segment, 0) + count
+        parts = entry["parts"]
+        parts[ref.part] = parts.get(ref.part, 0) + count
+    return dict(
+        sorted(grouped.items(), key=lambda kv: -kv[1]["samples"])
+    )
+
+
+def render_storage_report(profile) -> str:
+    """Text rendering of :func:`storage_breakdown` plus the observed
+    zone-map effect (segments considered vs skipped, from the generated
+    scan loops' counters)."""
+    breakdown = storage_breakdown(profile)
+    lines = ["storage dimension (memaddr samples per column segment):"]
+    if not breakdown:
+        lines.append("  (no storage-attributable samples; "
+                     "enable record_memaddr)")
+    for (table, column), info in breakdown.items():
+        segs = info["segments"]
+        hot = sorted(segs.items(), key=lambda kv: -kv[1])[:4]
+        seg_text = ", ".join(f"seg {s}: {n}" for s, n in hot)
+        if len(segs) > len(hot):
+            seg_text += f", ... ({len(segs)} segments total)"
+        lines.append(
+            f"  {table}.{column} [{info['encoding']}]: "
+            f"{info['samples']} sample(s)  ({seg_text})"
+        )
+        aux = {p: n for p, n in info["parts"].items() if p != "data"}
+        if aux:
+            aux_text = ", ".join(f"{p}: {n}" for p, n in sorted(aux.items()))
+            lines.append(f"    auxiliary structures: {aux_text}")
+    storage = getattr(profile.database, "storage", None)
+    if storage is not None and storage.prune_stats:
+        lines.append("zone-map effect (segments skipped / considered):")
+        for (table, index), stats in sorted(storage.prune_stats.items()):
+            column = storage.tables[table].columns[index]
+            lines.append(
+                f"  {table}.{column.name}: {stats.skipped} / "
+                f"{stats.considered}  ({stats.skip_share * 100:.1f}%)"
+            )
+        for line in storage.encoding_advice():
+            lines.append(f"  advice: {line}")
+    return "\n".join(lines)

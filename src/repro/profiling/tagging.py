@@ -40,6 +40,10 @@ class TaggingDictionary:
     tasks: dict[int, Task] = field(default_factory=dict)
     # IR ids belonging to pre-compiled runtime functions (shared locations)
     runtime_ir: dict[int, str] = field(default_factory=dict)
+    # storage dimension: maps a sampled memory address to the segment it
+    # belongs to (a repro.storage.StorageRef), set by the engine when the
+    # database has a columnar layout.  None outside storage-backed runs.
+    storage_resolver: object = None
 
     # -- population (compile time) ----------------------------------------
 

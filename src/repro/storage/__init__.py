@@ -1,0 +1,63 @@
+"""Columnar storage: sharded, segment-encoded tables with zone maps.
+
+The subsystem owns the physical layout of every table in simulated
+memory (see docs/STORAGE.md): sorted shards with a spine index, per-
+segment encodings (plain / frame-of-reference / dictionary / RLE) behind
+a runtime segment directory, zone maps consulted by generated scan code,
+a German-string table over the sorted dictionary, and address extents
+that attribute PMU samples to (table, column, shard, segment, encoding).
+"""
+
+from repro.storage.encodings import (
+    Encoding,
+    analyze_segments,
+    bits_for_range,
+    decode_segment,
+    encode_segment,
+    pack_words,
+    run_lengths,
+    unpack_word,
+)
+from repro.storage.german import ENTRY_BYTES, INLINE_MAX, GermanStringTable
+from repro.storage.layout import (
+    DIR_DATA,
+    DIR_MAX,
+    DIR_MIN,
+    DIR_PARAM,
+    DIR_STRIDE,
+    ColumnStorage,
+    PruneStats,
+    SegmentMeta,
+    ShardMeta,
+    StorageConfig,
+    StorageEngine,
+    StorageRef,
+    TableStorage,
+)
+
+__all__ = [
+    "Encoding",
+    "analyze_segments",
+    "bits_for_range",
+    "decode_segment",
+    "encode_segment",
+    "pack_words",
+    "run_lengths",
+    "unpack_word",
+    "GermanStringTable",
+    "ENTRY_BYTES",
+    "INLINE_MAX",
+    "ColumnStorage",
+    "PruneStats",
+    "SegmentMeta",
+    "ShardMeta",
+    "StorageConfig",
+    "StorageEngine",
+    "StorageRef",
+    "TableStorage",
+    "DIR_STRIDE",
+    "DIR_DATA",
+    "DIR_PARAM",
+    "DIR_MIN",
+    "DIR_MAX",
+]

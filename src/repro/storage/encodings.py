@@ -1,0 +1,185 @@
+"""Segment encodings: plain, frame-of-reference bit-packing, dictionary, RLE.
+
+Encoding *kind* is chosen once per column (so scan codegen stays
+monomorphic — one decode shape per column, no per-tuple dispatch), while
+the per-segment parameters (frame base, local dictionary, run arrays,
+zone min/max) vary per segment and are read by generated code from the
+segment directory at runtime.
+
+Bit widths are restricted to power-of-two divisors of 64 so a packed
+value is never split across words and decode lowers to shifts and masks
+only — no division in the inner loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: legal packed widths: power-of-two divisors of the 64-bit word
+PACK_BITS = (1, 2, 4, 8, 16, 32)
+
+
+class Encoding(enum.IntEnum):
+    """Column encoding kind (the integer value is what attribution and
+    the segment directory report)."""
+
+    PLAIN = 0
+    FOR = 1  # frame-of-reference bit-packing: value = base + packed delta
+    DICT = 2  # packed segment-local index into a local id dictionary
+    RLE = 3  # run values + cumulative run-end offsets
+
+
+def bits_for_range(span: int) -> int | None:
+    """Smallest legal packed width holding values in ``[0, span]``."""
+    if span < 0:
+        raise ReproError(f"negative span {span}")
+    for bits in PACK_BITS:
+        if span < (1 << bits):
+            return bits
+    return None  # needs a full word: not packable
+
+
+def pack_words(deltas: list[int], bits: int) -> list[int]:
+    """Pack non-negative ``deltas`` of ``bits`` width each, little-endian
+    within the word: value *i* sits at bit ``(i % per_word) * bits``."""
+    if bits not in PACK_BITS:
+        raise ReproError(f"illegal pack width {bits}")
+    per_word = 64 // bits
+    words = [0] * ((len(deltas) + per_word - 1) // per_word)
+    for i, delta in enumerate(deltas):
+        words[i // per_word] |= delta << ((i % per_word) * bits)
+    return words
+
+
+def unpack_word(word: int, slot: int, bits: int) -> int:
+    """Host-side reference for the generated shift/mask decode."""
+    return (word >> (slot * bits)) & ((1 << bits) - 1)
+
+
+def run_lengths(values: list) -> list[tuple[int, int]]:
+    """``(value, end_offset)`` runs; ``end_offset`` is exclusive and
+    relative to the segment start, so the last end equals the row count."""
+    runs: list[tuple[int, int]] = []
+    for i, v in enumerate(values):
+        if runs and runs[-1][0] == v:
+            runs[-1] = (v, i + 1)
+        else:
+            runs.append((v, i + 1))
+    return runs
+
+
+@dataclass
+class SegmentAnalysis:
+    """Per-segment facts gathered in the loader's single pass."""
+
+    row_lo: int
+    row_hi: int
+    min_value: int | float
+    max_value: int | float
+    distinct_values: frozenset
+    runs: int
+
+    @property
+    def rows(self) -> int:
+        return self.row_hi - self.row_lo
+
+
+def analyze_segments(values: list, segment_rows: int) -> list[SegmentAnalysis]:
+    """One pass over a column: zone min/max, distinct set, and run count
+    per segment.  Everything the encoder, the zone maps, and the
+    optimizer statistics need comes from this pass alone."""
+    out: list[SegmentAnalysis] = []
+    for lo in range(0, len(values), segment_rows):
+        seg = values[lo : lo + segment_rows]
+        runs = 1
+        for a, b in zip(seg, seg[1:]):
+            if a != b:
+                runs += 1
+        out.append(
+            SegmentAnalysis(
+                row_lo=lo,
+                row_hi=lo + len(seg),
+                min_value=min(seg),
+                max_value=max(seg),
+                distinct_values=frozenset(seg),
+                runs=runs,
+            )
+        )
+    return out
+
+
+@dataclass
+class EncodedSegment:
+    """One segment's payload, ready to copy into simulated memory.
+
+    ``data`` holds the primary words (plain values, packed deltas, packed
+    local indices, or run values); ``aux`` holds the secondary array
+    (local dictionary values for DICT, run-end offsets for RLE).
+    ``base`` is the FOR frame (segment minimum) and doubles as the
+    constant value for zero-width frames.
+    """
+
+    data: list = field(default_factory=list)
+    aux: list = field(default_factory=list)
+    base: int | float = 0
+
+
+def encode_segment(
+    kind: Encoding, values: list, analysis: SegmentAnalysis, bits: int
+) -> EncodedSegment:
+    if kind is Encoding.PLAIN:
+        return EncodedSegment(data=list(values))
+    if kind is Encoding.FOR:
+        base = analysis.min_value
+        if bits == 0:  # constant segment: no payload, decode is the frame
+            return EncodedSegment(base=base)
+        deltas = [v - base for v in values]
+        return EncodedSegment(data=pack_words(deltas, bits), base=base)
+    if kind is Encoding.DICT:
+        local = sorted(analysis.distinct_values)
+        index_of = {v: i for i, v in enumerate(local)}
+        packed = pack_words([index_of[v] for v in values], bits)
+        return EncodedSegment(data=packed, aux=local)
+    if kind is Encoding.RLE:
+        runs = run_lengths(values)
+        return EncodedSegment(
+            data=[v for v, _ in runs], aux=[end for _, end in runs]
+        )
+    raise ReproError(f"unknown encoding {kind}")
+
+
+def decode_segment(
+    kind: Encoding, encoded: EncodedSegment, rows: int, bits: int
+) -> list:
+    """Host-side reference decode (tests compare it to the raw column)."""
+    if kind is Encoding.PLAIN:
+        return list(encoded.data[:rows])
+    if kind is Encoding.FOR:
+        if bits == 0:
+            return [encoded.base] * rows
+        per_word = 64 // bits
+        return [
+            encoded.base
+            + unpack_word(encoded.data[i // per_word], i % per_word, bits)
+            for i in range(rows)
+        ]
+    if kind is Encoding.DICT:
+        per_word = 64 // bits
+        return [
+            encoded.aux[
+                unpack_word(encoded.data[i // per_word], i % per_word, bits)
+            ]
+            for i in range(rows)
+        ]
+    if kind is Encoding.RLE:
+        out: list = []
+        run = 0
+        for i in range(rows):
+            while i >= encoded.aux[run]:
+                run += 1
+            out.append(encoded.data[run])
+        return out
+    raise ReproError(f"unknown encoding {kind}")

@@ -1,0 +1,134 @@
+"""German-style short-string layout over the sorted dictionary.
+
+Every dictionary string gets a fixed 16-byte (two-word) entry:
+
+    word 0:  [ prefix: 4 bytes | length: 4 bytes ]   (prefix in high bits)
+    word 1:  strings of <= 12 bytes: remaining bytes inline, left-aligned
+             longer strings: byte pointer into the string heap
+
+Because the prefix sits in the word as a big-endian integer, comparing
+the high halves of two entry words orders the strings byte-wise without
+touching either payload — the O(1) inequality fast path.  Equality of
+short strings is decided entirely inside the 16 bytes; only two long
+strings sharing a 12-byte prefix fall back to the heap.
+
+Runtime comparisons in generated code still use the order-preserving
+dictionary ids; this table is the physical string store those ids point
+at, and it lives in simulated memory so string-storage bytes show up in
+the memory map and in sample attribution like every other structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+ENTRY_BYTES = 16
+#: longest string whose payload fits entirely inside the entry
+INLINE_MAX = 12
+_PREFIX = 4
+_SUFFIX = 8
+
+
+def _be_word(raw: bytes) -> int:
+    return int.from_bytes(raw.ljust(8, b"\0")[:8], "big")
+
+
+def entry_words(value: str, heap_offset: int | None = None) -> tuple[int, int]:
+    """The two entry words for ``value``.
+
+    ``heap_offset`` must be given (byte offset of the spilled bytes) when
+    the string does not fit inline.
+    """
+    raw = value.encode("utf-8")
+    if len(raw) >= 1 << 32:
+        raise ReproError("string too long for german layout")
+    word0 = (_be_word(raw[:_PREFIX]) >> 32 << 32) | len(raw)
+    if len(raw) <= INLINE_MAX:
+        return word0, _be_word(raw[_PREFIX : _PREFIX + _SUFFIX])
+    if heap_offset is None:
+        raise ReproError(f"string of {len(raw)} bytes needs a heap offset")
+    return word0, heap_offset
+
+
+@dataclass
+class GermanStringTable:
+    """The materialized entry table plus its overflow heap."""
+
+    base: int  # byte address of entry 0
+    heap_base: int  # byte address of the overflow heap
+    count: int
+
+    def entry_addr(self, string_id: int) -> int:
+        return self.base + string_id * ENTRY_BYTES
+
+    @classmethod
+    def build(cls, dictionary, memory) -> "GermanStringTable":
+        """Materialize every dictionary string; returns the table.
+
+        Entries are written id-order, so ``base + id * 16`` addresses the
+        entry — exactly how a column's dictionary ids would chase into
+        string storage on a real engine.
+        """
+        values = [dictionary.value_of(i) for i in range(len(dictionary))]
+        spill = [v.encode("utf-8") for v in values if len(v.encode("utf-8")) > INLINE_MAX]
+        heap_bytes = sum((len(raw) + 7) & ~7 for raw in spill)
+        base = memory.alloc(
+            max(8, len(values) * ENTRY_BYTES), "strings.german", align=64
+        )
+        heap_base = memory.alloc(max(8, heap_bytes), "strings.heap", align=64)
+
+        heap_cursor = heap_base
+        for i, value in enumerate(values):
+            raw = value.encode("utf-8")
+            offset = None
+            if len(raw) > INLINE_MAX:
+                offset = heap_cursor
+                for j in range(0, len(raw), 8):
+                    memory.write(heap_cursor, _be_word(raw[j : j + 8]))
+                    heap_cursor += 8
+            w0, w1 = entry_words(value, offset)
+            memory.write(base + i * ENTRY_BYTES, w0)
+            memory.write(base + i * ENTRY_BYTES + 8, w1)
+        return cls(base=base, heap_base=heap_base, count=len(values))
+
+    # -- reads (host-side, over simulated memory only) --------------------
+
+    def _entry(self, memory, string_id: int) -> tuple[int, int, int]:
+        if not 0 <= string_id < self.count:
+            raise ReproError(f"string id {string_id} out of range")
+        addr = self.entry_addr(string_id)
+        w0 = memory.read(addr)
+        w1 = memory.read(addr + 8)
+        return w0 >> 32, w0 & 0xFFFFFFFF, w1
+
+    def value_of(self, memory, string_id: int) -> str:
+        """Reassemble the string from the entry (and heap, if spilled)."""
+        prefix, length, w1 = self._entry(memory, string_id)
+        head = prefix.to_bytes(4, "big")[: min(length, _PREFIX)]
+        if length <= INLINE_MAX:
+            tail = w1.to_bytes(8, "big")[: max(0, length - _PREFIX)]
+            return (head + tail).decode("utf-8")
+        raw = bytearray()
+        for j in range(0, length, 8):
+            raw += memory.read(w1 + j).to_bytes(8, "big")
+        return bytes(raw[:length]).decode("utf-8")
+
+    def compare(self, memory, id_a: int, id_b: int) -> int:
+        """Byte-wise string compare: negative / zero / positive.
+
+        The fast path decides from the 16-byte entries alone; only two
+        spilled strings with identical 12-byte prefixes read the heap.
+        """
+        pa, la, wa = self._entry(memory, id_a)
+        pb, lb, wb = self._entry(memory, id_b)
+        if pa != pb:  # O(1): prefixes differ
+            return -1 if pa < pb else 1
+        if la <= INLINE_MAX and lb <= INLINE_MAX:
+            if wa != wb:
+                return -1 if wa < wb else 1
+            return (la > lb) - (la < lb)
+        a = self.value_of(memory, id_a).encode("utf-8")
+        b = self.value_of(memory, id_b).encode("utf-8")
+        return (a > b) - (a < b)

@@ -16,6 +16,7 @@ from repro.errors import VMError
 
 WORD = 8
 NULL = 0
+CACHE_LINE = 64
 
 
 @dataclass(frozen=True)
@@ -52,16 +53,25 @@ class Memory:
 
     # -- allocation ------------------------------------------------------
 
-    def alloc(self, nbytes: int, name: str = "anon") -> int:
-        """Bump-allocate ``nbytes`` (rounded up to words), zero-filled."""
+    def alloc(self, nbytes: int, name: str = "anon", align: int = WORD) -> int:
+        """Bump-allocate ``nbytes`` (rounded up to words), zero-filled.
+
+        ``align`` must be a power-of-two multiple of the word size.  Storage
+        segments allocate with ``align=CACHE_LINE`` so every segment starts on
+        a cache-line boundary and the L1/L2 set a scan maps to is a function
+        of the layout alone, not of whatever was allocated before it.
+        """
+        if align < WORD or align & (align - 1):
+            raise VMError(f"bad alignment {align}")
         nbytes = (nbytes + WORD - 1) & ~(WORD - 1)
-        base = self._brk
+        base = (self._brk + align - 1) & ~(align - 1)
         new_brk = base + nbytes
         if new_brk > self.size:
             self._grow(new_brk)
+        # Freshly bumped memory may contain stale data from a released arena;
+        # zero the alignment gap as well so no stale word stays readable.
+        zero_from = self._brk // WORD
         self._brk = new_brk
-        # Freshly bumped memory may contain stale data from a released arena.
-        zero_from = base // WORD
         zero_to = new_brk // WORD
         for i in range(zero_from, zero_to):
             self.words[i] = 0

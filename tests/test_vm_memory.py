@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import VMError
-from repro.vm.memory import WORD, Memory
+from repro.vm.memory import CACHE_LINE, WORD, Memory
 
 
 def test_alloc_is_word_aligned_and_zeroed():
@@ -63,6 +63,33 @@ def test_arena_release_and_reuse_zeroes():
     b = mem.alloc(16, "scratch2")
     assert b == a  # bump pointer rewound
     assert mem.read(b) == 0  # stale data not visible
+
+
+def test_aligned_alloc_cache_line():
+    mem = Memory(1 << 12)
+    mem.alloc(12, "pad")  # misalign the bump pointer
+    a = mem.alloc(40, "seg", align=CACHE_LINE)
+    assert a % CACHE_LINE == 0
+    b = mem.alloc(8, "next")
+    assert b == a + 40  # word packing resumes after the aligned block
+    # the alignment gap must be zeroed like any other fresh allocation
+    mark = mem.mark()
+    c = mem.alloc(256, "scratch")
+    for off in range(0, 256, 8):
+        mem.write(c + off, 0xDEAD)
+    mem.release(mark)
+    d = mem.alloc(8, "bump", align=CACHE_LINE)
+    assert d % CACHE_LINE == 0
+    for off in range(-(d - c), 8, 8):
+        assert mem.read(d + off) == 0
+
+
+def test_aligned_alloc_rejects_bad_alignment():
+    mem = Memory(1 << 12)
+    with pytest.raises(VMError):
+        mem.alloc(8, align=48)  # not a power of two
+    with pytest.raises(VMError):
+        mem.alloc(8, align=4)  # below word size
 
 
 def test_release_bad_mark_rejected():

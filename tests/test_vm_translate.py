@@ -267,8 +267,13 @@ def test_tpch_plain_parity(name):
 def test_tpch_sample_stream_parity(event):
     # q14: join + aggregation + conditional arithmetic in a few hundred
     # ms; the period is low enough that even the rare events (L1 misses,
-    # branch misses) produce a stream while the fast engine stays armed
-    db = Database.tpch(scale=0.001, seed=42)
+    # branch misses) produce a stream while the fast engine stays armed.
+    # L1 misses need the plain storage layout: compressed segments shrink
+    # q14's scan footprint to near-L1-resident, below one sampling period
+    from repro.storage import StorageConfig
+
+    storage = StorageConfig.plain() if event is Event.L1_MISS else None
+    db = Database.tpch(scale=0.001, seed=42, storage=storage)
     sql = ALL_QUERIES["q14"].sql
     fast = _query_observables(db, sql, event, True, period=200)
     slow = _query_observables(db, sql, event, False, period=200)
