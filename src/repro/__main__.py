@@ -125,6 +125,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _bench_main(argv[1:], out)
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:], out)
+    if argv and argv[0] == "fleet":
+        return _fleet_main(argv[1:], out)
     if argv and argv[0] == "storage":
         return _storage_main(argv[1:], out)
     args = build_parser().parse_args(argv)
@@ -346,6 +348,12 @@ def _fuzz_main(argv: list[str], out) -> int:
              "vs compressed physical layouts over the same rows)",
     )
     parser.add_argument(
+        "--no-fleet", action="store_true",
+        help="skip the fleet-sharded twin configs (scatter/gather over "
+             "1, 2, and 4 router shards vs the single-node reference, "
+             "plus merged-profile sample-total accounting)",
+    )
+    parser.add_argument(
         "--no-shrink", action="store_true",
         help="report failures without minimizing them",
     )
@@ -375,6 +383,7 @@ def _fuzz_main(argv: list[str], out) -> int:
         check_vm_parity=not args.no_vm_parity,
         check_serve=not args.no_serve,
         check_storage=not args.no_storage,
+        check_fleet=not args.no_fleet,
         inject_fault="invert-first-cmpeq" if args.inject_miscompile else None,
         time_limit=args.time_limit,
         corpus_dir=args.corpus,
@@ -638,6 +647,130 @@ def _serve_main(argv: list[str], out) -> int:
     if store is not None:
         print(f"PGO feedback recorded under {args.pgo_store}", file=out)
     if args.strict and not summary.clean:
+        return 1
+    return 0
+
+
+def _fleet_main(argv: list[str], out) -> int:
+    """``python -m repro fleet``: a sharded workload behind the router."""
+    import zlib
+    from random import Random
+
+    from repro.errors import ReproError
+    from repro.fleet import Fleet, FleetConfig, fleet_profile, run_fleet_workload
+    from repro.serve import SYNTHETIC_TEMPLATES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet",
+        description="Run a multi-tenant workload through the fleet router: "
+                    "the example fact table partitions across N query-"
+                    "service shards, queries execute by scatter/gather "
+                    "(partial aggregates pushed down, merged and re-sorted "
+                    "router-side), and per-shard continuous profiles merge "
+                    "into one fleet-wide hotspot report with per-tenant "
+                    "and per-shard attribution.",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4,
+        help="query-service shards behind the router (default 4)",
+    )
+    parser.add_argument(
+        "--scheme", choices=["hash", "range"], default="hash",
+        help="partitioning scheme for the fact table (default hash)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=40,
+        help="synthetic workload size (default 40)",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=3,
+        help="tenants submitting round-robin (default 3)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="simulated cores per shard (default 2)",
+    )
+    parser.add_argument(
+        "--tenant-quota", type=int, default=None,
+        help="max in-flight fleet queries per tenant (default unlimited)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="fleet seed; tenant RNGs derive from it (default 0)",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print the merged fleet profile after the run",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any query failed",
+    )
+    _add_fast_vm_flag(parser)
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be at least 1")
+
+    try:
+        fleet = Fleet(
+            Database.example(),
+            FleetConfig(
+                shards=args.shards, scheme=args.scheme,
+                workers=args.workers, fast_vm=args.fast_vm,
+                seed=args.seed, tenant_quota=args.tenant_quota,
+            ),
+        )
+    except ReproError as error:
+        print(str(error), file=out)
+        return 1
+
+    # deterministic per-tenant query streams, seeded like service sessions
+    names = [f"tenant-{i}" for i in range(args.tenants)]
+    rngs = {
+        name: Random(zlib.crc32(f"{args.seed}:{name}".encode()))
+        for name in names
+    }
+    items = []
+    for index in range(args.queries):
+        name = names[index % args.tenants]
+        rng = rngs[name]
+        sql = rng.choice(SYNTHETIC_TEMPLATES).format(
+            price=round(rng.uniform(50.0, 450.0), 2),
+            hi_price=round(rng.uniform(400.0, 490.0), 2),
+        )
+        items.append((name, sql))
+
+    results = run_fleet_workload(fleet, items)
+    stats = fleet.stats()
+    print(
+        f"fleet of {stats['shards']} shard(s) "
+        f"[{stats['partition']}]: served {stats['submitted']} queries — "
+        f"{stats['completed']} ok ({stats['degraded']} degraded), "
+        f"{stats['failed']} failed, {stats['cancelled']} cancelled; "
+        f"makespan {stats['makespan_cycles']:,} cycles",
+        file=out,
+    )
+    failed = 0
+    for result in results:
+        status = getattr(result, "status", "failed")
+        if status in ("ok", "degraded"):
+            continue
+        failed += 1
+        detail = getattr(result, "error", result)
+        ticket = getattr(result, "ticket", "-")
+        print(f"  ticket {ticket}: {detail}", file=out)
+    snapshot = fleet.profile_snapshot()
+    if snapshot is not None:
+        print(
+            f"profiling: {snapshot.samples} merged samples "
+            f"(= sum over shards), tag accuracy "
+            f"{snapshot.accuracy * 100:.2f}%",
+            file=out,
+        )
+    if args.report:
+        print(file=out)
+        print(fleet_profile(fleet).render(), file=out)
+    if args.strict and failed:
         return 1
     return 0
 

@@ -36,6 +36,10 @@ class Table:
         # the shard spine index over it, and loaders declare it to match
         # generation order (so sorting is normally the identity)
         self.sort_key: str | None = None
+        # fleet partitioning key: repro.fleet splits this table's rows
+        # across service shards on it (hash or range); None means the
+        # router picks one (partition_key -> sort_key -> first column)
+        self.partition_key: str | None = None
         self._stats: list[ColumnStats | None] = [None] * len(schema)
 
     @property

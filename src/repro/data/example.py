@@ -33,6 +33,9 @@ def generate_example(catalog: Catalog, n_sales: int = 5000,
         Column("vat_factor", t.DECIMAL),
         Column("prod_costs", t.DECIMAL),
     ]))
+    # the fact table: repro.fleet splits it across service shards on the
+    # product id while the small products dimension replicates everywhere
+    sales.partition_key = "id"
     for _ in range(n_sales):
         sales.append((
             rng.randint(1, n_products),

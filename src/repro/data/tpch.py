@@ -272,3 +272,8 @@ def generate_tpch(catalog: Catalog, scale: float = 0.001, seed: int = 42) -> Non
     partsupp.sort_key = "ps_partkey"
     orders.sort_key = "o_orderkey"
     lineitem.sort_key = "l_orderkey"
+    # fleet partition keys: the two fact tables split across service
+    # shards on their clustering key (range partitioning can then reuse
+    # the storage spine's per-shard key bounds); dimensions replicate
+    orders.partition_key = "o_orderkey"
+    lineitem.partition_key = "l_orderkey"

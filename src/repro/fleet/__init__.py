@@ -1,0 +1,50 @@
+"""repro.fleet — fleet-scale sharded serving.
+
+A router tier in front of N :class:`~repro.serve.QueryService` shards:
+one table's rows partition across the shards (hash or range on the
+catalog partition key, reusing the storage spine's key bounds when the
+table is clustered), every other table replicates, and queries execute
+by scatter/gather — partial aggregates push down to the shards, the
+gather merges, re-sorts, and re-limits.  Per-shard continuous profiles
+merge into one fleet-wide hotspot report with per-tenant and per-shard
+attribution, and a shared PGO store closes the optimization loop across
+the whole fleet.
+"""
+
+from repro.fleet.partition import (
+    HashPartitioner,
+    PartitionSpec,
+    RangePartitioner,
+)
+from repro.fleet.profiling import (
+    FleetProfile,
+    ShardAttribution,
+    TenantAttribution,
+    fleet_profile,
+    merge_snapshots,
+)
+from repro.fleet.router import (
+    Fleet,
+    FleetConfig,
+    FleetResult,
+    run_fleet_workload,
+)
+from repro.fleet.scatter import FleetPlanError, RoutePlan, plan_route
+
+__all__ = [
+    "Fleet",
+    "FleetConfig",
+    "FleetPlanError",
+    "FleetProfile",
+    "FleetResult",
+    "HashPartitioner",
+    "PartitionSpec",
+    "RangePartitioner",
+    "RoutePlan",
+    "ShardAttribution",
+    "TenantAttribution",
+    "fleet_profile",
+    "merge_snapshots",
+    "plan_route",
+    "run_fleet_workload",
+]

@@ -6,6 +6,14 @@ seed), each generated query runs through the full differential oracle,
 and any disagreement is minimized by the shrinker and written to the
 corpus directory as a self-contained JSON repro — dataset rows included —
 that ``repro.fuzz.corpus`` can replay without the original seed.
+
+With ``check_fleet`` on, every rotation also builds *fleet twins*: the
+same dataset behind the :mod:`repro.fleet` router at 1, 2, and 4 shards
+(hash and range partitioned).  The ``fleet-sharded`` oracle requires
+bag-equality of the router's scatter/gather results against the
+single-node reference at every shard count, and exact equality between
+each fleet's merged profile sample total and the sum of its per-shard
+totals.
 """
 
 from __future__ import annotations
@@ -94,6 +102,7 @@ def run_fuzz(
     check_vm_parity: bool = True,
     check_serve: bool = True,
     check_storage: bool = True,
+    check_fleet: bool = True,
     inject_fault: str | None = None,
     time_limit: float | None = None,
     corpus_dir: str | Path | None = None,
@@ -110,6 +119,7 @@ def run_fuzz(
     db = None
     generator = None
     storage_twins: dict = {}
+    fleet_twins: dict = {}
 
     for index in range(budget):
         if time_limit is not None and time.monotonic() - started > time_limit:
@@ -142,12 +152,29 @@ def run_fuzz(
                         ),
                     ),
                 }
+            if check_fleet:
+                # the same rows behind the fleet router at three shard
+                # counts (1 exercises degenerate routing; 4 uses range
+                # partitioning so both schemes stay covered)
+                from repro.fleet import Fleet, FleetConfig
+
+                fleet_twins = {
+                    f"sharded-{n}": Fleet.from_dataset(
+                        dataset,
+                        FleetConfig(
+                            shards=n, workers=2, morsel_size=64,
+                            scheme="range" if n == 4 else "hash",
+                        ),
+                    )
+                    for n in (1, 2, 4)
+                }
             generator = QueryGenerator(dataset, Random(master.randint(0, 2**31 - 1)))
             report.datasets += 1
         oracle = DifferentialOracle(
             db, max_hints=max_hints, check_pgo=check_pgo,
             check_vm_parity=check_vm_parity, check_serve=check_serve,
             inject_fault=inject_fault, storage_twins=storage_twins,
+            fleet_twins=fleet_twins,
         )
 
         result: CheckResult | None = None

@@ -162,6 +162,7 @@ class DifferentialOracle:
         inject_fault: str | None = None,
         instruction_limit: int = INSTRUCTION_LIMIT,
         storage_twins: dict | None = None,
+        fleet_twins: dict | None = None,
     ):
         self.db = db
         self.max_hints = max_hints
@@ -178,6 +179,11 @@ class DifferentialOracle:
         # zone-map skipping may only *save* instructions (modulo the
         # per-segment bookkeeping budget)
         self.storage_twins = storage_twins or {}
+        # name -> repro.fleet.Fleet over the same rows sharded N ways;
+        # every shard count must reproduce the single-node bag, and each
+        # fleet's merged profile totals must equal the sum of its
+        # per-shard totals (the "fleet-sharded" oracle)
+        self.fleet_twins = fleet_twins or {}
 
     # -- executor configs ----------------------------------------------------
 
@@ -252,6 +258,8 @@ class DifferentialOracle:
         outcomes = [self._run(config, thunk) for config, thunk in runs]
         if self.storage_twins and fault is None:
             outcomes.extend(self._storage_outcomes(sql))
+        if self.fleet_twins and fault is None:
+            outcomes.extend(self._fleet_outcomes(sql))
         if self.check_pgo and fault is None:
             outcomes.extend(self._pgo_outcomes(sql))
         if self.check_serve and fault is None:
@@ -301,6 +309,72 @@ class DifferentialOracle:
                         f"{plain.instructions} (budget +{budget})"
                     ),
                 ))
+        return outcomes
+
+    def _fleet_outcomes(self, sql: str) -> list[Outcome]:
+        """Sharded serving twins: the router's scatter/gather over N
+        shards must reproduce the single-node bag for every shard count,
+        and each fleet's merged profile snapshot must account for exactly
+        the sum of its per-shard sample totals.  A router refusal (the
+        statement cannot be distributed — e.g. the partitioned table
+        inside a subquery) is a skip, not a wrong answer."""
+        from repro.serve import COMPILE_ERROR, ServiceError
+
+        outcomes = []
+        for name, fleet in self.fleet_twins.items():
+            config = f"fleet-{name}"
+            try:
+                ticket = fleet.submit(
+                    sql, tenant="fuzz",
+                    max_instructions=self.instruction_limit,
+                )
+                fleet.drain()
+                result = fleet.result(ticket)
+            except ServiceError as exc:
+                if exc.code == COMPILE_ERROR:
+                    # submit-time COMPILE_ERROR is the router refusing to
+                    # distribute (the frontend gate already accepted the
+                    # statement), so the config is impossible, not wrong
+                    outcomes.append(Outcome(config, "skipped", error=str(exc)))
+                else:
+                    outcomes.append(Outcome(
+                        config, "error", error=f"ServiceError: {exc.code}"
+                    ))
+                continue
+            except Exception as exc:  # noqa: BLE001 - compared by kind
+                outcomes.append(Outcome(
+                    config, "error", error=f"{type(exc).__name__}: {exc}"
+                ))
+                continue
+            if result.status == "ok":
+                outcomes.append(Outcome(
+                    config, "rows", rows=list(result.rows)
+                ))
+            elif result.status == "failed":
+                outcomes.append(Outcome(
+                    config, "error",
+                    error=f"ServiceError: {result.error_code}",
+                ))
+            else:
+                outcomes.append(Outcome(
+                    config, "error",
+                    error=f"unexpected fleet status {result.status!r}",
+                ))
+            snapshot = fleet.profile_snapshot()
+            if snapshot is not None:
+                shard_total = sum(
+                    shard.profile_snapshot().samples
+                    for shard in fleet.services
+                )
+                if snapshot.samples != shard_total:
+                    outcomes.append(Outcome(
+                        f"{config}-profile-totals", "error",
+                        error=(
+                            "fleet profile totals violated: merged "
+                            f"{snapshot.samples} samples vs per-shard sum "
+                            f"{shard_total}"
+                        ),
+                    ))
         return outcomes
 
     def _tiered_execute(self, sql: str):
@@ -412,12 +486,13 @@ class DifferentialOracle:
                     "concurrent counters differ from the single-query run"
                 ),
             )
-        if service.profiler is not None and service.profiler.accuracy < 0.99:
+        snapshot = service.profile_snapshot()
+        if snapshot is not None and snapshot.accuracy < 0.99:
             return Outcome(
                 config, "error",
                 error=(
                     "sample attribution accuracy "
-                    f"{service.profiler.accuracy:.4f} below 0.99"
+                    f"{snapshot.accuracy:.4f} below 0.99"
                 ),
             )
         return Outcome(config, "rows", rows=list(concurrent[0].rows))

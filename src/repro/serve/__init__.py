@@ -13,10 +13,16 @@ from repro.serve.errors import (
     INSTRUCTION_LIMIT,
     QUEUE_FULL,
     SESSION_CLOSED,
+    SHARD_FAILED,
+    TENANT_QUOTA,
     TIMEOUT,
     ServiceError,
 )
-from repro.serve.profiler import ContinuousProfiler, WorkloadProfile
+from repro.serve.profiler import (
+    ContinuousProfiler,
+    ProfileSnapshot,
+    WorkloadProfile,
+)
 from repro.serve.service import (
     SERVE_PERIOD_CYCLES,
     QueryService,
@@ -40,10 +46,13 @@ __all__ = [
     "INSTRUCTION_LIMIT",
     "QUEUE_FULL",
     "SESSION_CLOSED",
+    "SHARD_FAILED",
+    "TENANT_QUOTA",
     "TIMEOUT",
     "SERVE_PERIOD_CYCLES",
     "SYNTHETIC_TEMPLATES",
     "ContinuousProfiler",
+    "ProfileSnapshot",
     "QueryService",
     "ServiceConfig",
     "ServiceError",

@@ -17,6 +17,10 @@ SESSION_CLOSED = "SESSION_CLOSED"
 COMPILE_ERROR = "COMPILE_ERROR"
 INSTRUCTION_LIMIT = "INSTRUCTION_LIMIT"
 EXEC_ERROR = "EXEC_ERROR"
+# fleet-level codes (repro.fleet): the router tier sheds over-quota
+# tenants and surfaces shard loss under the same structured contract
+TENANT_QUOTA = "TENANT_QUOTA"
+SHARD_FAILED = "SHARD_FAILED"
 
 _KNOWN_CODES = frozenset({
     QUEUE_FULL,
@@ -26,6 +30,8 @@ _KNOWN_CODES = frozenset({
     COMPILE_ERROR,
     INSTRUCTION_LIMIT,
     EXEC_ERROR,
+    TENANT_QUOTA,
+    SHARD_FAILED,
 })
 
 

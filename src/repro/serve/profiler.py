@@ -56,6 +56,91 @@ class TemplateStats:
 
 
 @dataclass
+class ProfileSnapshot:
+    """A detached, mergeable copy of a profiler's rolling aggregate.
+
+    This is the public exchange format between a :class:`ContinuousProfiler`
+    and anything that wants its numbers without reaching into the live
+    object: tests, reports, and the fleet tier's cross-shard merger.  All
+    containers are copies, so a snapshot is immutable-in-practice and two
+    snapshots can be merged without touching either source.
+
+    ``merge`` is associative and commutative up to list order (sample and
+    latency totals are sums, region counts are counter sums, per-template
+    stats combine field-wise), which is what lets a fleet fold N shard
+    snapshots in any tree shape and always report the same totals.
+    """
+
+    queries: int
+    samples: int
+    attributed_samples: int
+    matched_samples: int
+    templates: dict[str, TemplateStats]
+    regions: Counter
+    latencies: list[int]
+
+    @property
+    def accuracy(self) -> float:
+        if self.attributed_samples == 0:
+            return 1.0
+        return self.matched_samples / self.attributed_samples
+
+    def merge(self, other: "ProfileSnapshot") -> "ProfileSnapshot":
+        """Combine two snapshots into a new one (sources untouched)."""
+        templates = {
+            key: _copy_template(stats) for key, stats in self.templates.items()
+        }
+        for key, stats in other.templates.items():
+            mine = templates.get(key)
+            if mine is None:
+                templates[key] = _copy_template(stats)
+                continue
+            mine.queries += stats.queries
+            mine.samples += stats.samples
+            mine.instructions += stats.instructions
+            mine.latencies.extend(stats.latencies)
+            mine.operator_samples = mine.operator_samples + stats.operator_samples
+            if not mine.sql:
+                mine.sql = stats.sql
+        return ProfileSnapshot(
+            queries=self.queries + other.queries,
+            samples=self.samples + other.samples,
+            attributed_samples=(
+                self.attributed_samples + other.attributed_samples
+            ),
+            matched_samples=self.matched_samples + other.matched_samples,
+            templates=templates,
+            regions=self.regions + other.regions,
+            latencies=self.latencies + other.latencies,
+        )
+
+    def workload_profile(self, top_k: int = 10) -> "WorkloadProfile":
+        """Render-ready view of the snapshot (same shape as the live one)."""
+        return WorkloadProfile(
+            queries=self.queries,
+            samples=self.samples,
+            attributed_samples=self.attributed_samples,
+            matched_samples=self.matched_samples,
+            templates=dict(self.templates),
+            hot_regions=self.regions.most_common(top_k),
+            latency_p50=percentile(self.latencies, 0.50),
+            latency_p95=percentile(self.latencies, 0.95),
+            latency_p99=percentile(self.latencies, 0.99),
+        )
+
+
+def _copy_template(stats: TemplateStats) -> TemplateStats:
+    return TemplateStats(
+        sql=stats.sql,
+        queries=stats.queries,
+        samples=stats.samples,
+        instructions=stats.instructions,
+        latencies=list(stats.latencies),
+        operator_samples=Counter(stats.operator_samples),
+    )
+
+
+@dataclass
 class WorkloadProfile:
     """A point-in-time snapshot of the rolling workload aggregate."""
 
@@ -211,6 +296,21 @@ class ContinuousProfiler:
         return profile
 
     # -- snapshots ---------------------------------------------------------
+
+    def profile_snapshot(self) -> ProfileSnapshot:
+        """The public point-in-time copy of the rolling aggregate."""
+        return ProfileSnapshot(
+            queries=self.queries,
+            samples=self.samples_total,
+            attributed_samples=self.attributed_samples,
+            matched_samples=self.matched_samples,
+            templates={
+                key: _copy_template(stats)
+                for key, stats in self.templates.items()
+            },
+            regions=Counter(self.region_counter),
+            latencies=list(self.latencies),
+        )
 
     def workload_profile(self) -> WorkloadProfile:
         return WorkloadProfile(

@@ -284,6 +284,16 @@ class QueryService:
             return None
         return self.profiler.workload_profile()
 
+    def profile_snapshot(self):
+        """Detached copy of the continuous profiler's rolling aggregate
+        (:class:`repro.serve.profiler.ProfileSnapshot`), or ``None`` when
+        profiling is off.  This is the supported way to read the
+        profiler's numbers — the fleet merger and the tests both use it
+        instead of poking :class:`ContinuousProfiler` internals."""
+        if self.profiler is None:
+            return None
+        return self.profiler.profile_snapshot()
+
     # -- scheduling internals ------------------------------------------------
 
     def _compile(self, sql: str):

@@ -228,10 +228,14 @@ def test_tag_accuracy_under_concurrency(db):
     stats = service.stats()
     assert stats["samples"] > 0
     assert stats["tag_accuracy"] >= 0.99
-    profile = service.workload_profile()
-    assert profile.accuracy >= 0.99
-    assert profile.queries == 8
-    assert profile.templates  # per-template operator costs aggregated
+    # the public snapshot API carries the same aggregate (and is what
+    # the fleet merger consumes) — no reaching into profiler internals
+    snapshot = service.profile_snapshot()
+    assert snapshot.accuracy >= 0.99
+    assert snapshot.queries == 8
+    assert snapshot.samples == stats["samples"]
+    assert snapshot.templates  # per-template operator costs aggregated
+    profile = snapshot.workload_profile()
     assert profile.latency_p95 >= profile.latency_p50 > 0
 
 
@@ -259,6 +263,7 @@ def test_profiling_off_runs_clean(db):
     assert result.samples == 0
     assert result.rows == db.execute(SQL_AGG).rows
     assert service.workload_profile() is None
+    assert service.profile_snapshot() is None
 
 
 def test_warmed_plans_survive_epochs(db):
