@@ -129,6 +129,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _fleet_main(argv[1:], out)
     if argv and argv[0] == "storage":
         return _storage_main(argv[1:], out)
+    if argv and argv[0] == "views":
+        return _views_main(argv[1:], out)
     args = build_parser().parse_args(argv)
     sql = resolve_sql(args)
     try:
@@ -831,6 +833,164 @@ def _storage_main(argv: list[str], out) -> int:
         print("loader advice:", file=out)
         for line in advice:
             print(f"  {line}", file=out)
+    return 0
+
+
+def _views_main(argv: list[str], out) -> int:
+    """``python -m repro views``: the incremental materialized-view tier."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro views",
+        description="Incremental materialized views (docs/VIEWS.md).  The "
+                    "default demo registers standing queries — SQL and an "
+                    "EventFlow with having() — over the example database, "
+                    "subscribes a session, applies delta batches including "
+                    "retractions, and prints the pushed updates plus the "
+                    "per-view maintenance profile.  --fuzz runs the "
+                    "views-incremental differential oracle instead: every "
+                    "maintained view is bag-compared against re-running "
+                    "its query from scratch after every batch.",
+    )
+    parser.add_argument(
+        "--fuzz", action="store_true",
+        help="run the views-incremental differential oracle",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=100,
+        help="standing queries to register under --fuzz (default 100)",
+    )
+    parser.add_argument(
+        "--batches", type=int, default=5,
+        help="delta batches per dataset under --fuzz, and demo batches "
+             "(default 5)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master seed (default 0)"
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="stop the fuzz campaign early after this much wall-clock time",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-dataset progress"
+    )
+    args = parser.parse_args(argv)
+
+    if args.fuzz:
+        from repro.fuzz.views import run_views_fuzz
+
+        if args.queries < 1:
+            print("--queries must be at least 1", file=out)
+            return 2
+        emit = (
+            None if args.quiet
+            else (lambda message: print(message, file=out))
+        )
+        report = run_views_fuzz(
+            args.seed, args.queries, batches=args.batches,
+            time_limit=args.time_limit, log=emit,
+        )
+        print(
+            f"views-fuzz seed={report.seed}: {report.views} views over "
+            f"{report.datasets} datasets, {report.batches} delta batches, "
+            f"{report.checks} differential checks "
+            f"({report.retractions} retractions, {report.rejected} "
+            f"rejected) in {report.elapsed:.1f}s — "
+            f"{len(report.failures)} disagreement(s)",
+            file=out,
+        )
+        for failure in report.failures:
+            print(
+                f"  view {failure.view} batch {failure.batch} "
+                f"[dataset {failure.dataset_seed}]: {failure.reason}",
+                file=out,
+            )
+            if failure.sql:
+                print(f"    {failure.sql}", file=out)
+        return 0 if report.ok else 1
+
+    from random import Random
+
+    from repro.serve import QueryService, ServiceConfig
+    from repro.streaming import EventFlow
+    from repro.views import ViewService
+
+    database = Database.example(n_sales=2000, n_products=100)
+    service = QueryService(database, ServiceConfig(workers=2))
+    views = ViewService(service)
+
+    views.register(
+        "by_bucket",
+        "select id % 7 as bucket, sum(price) as total, count(*) as n "
+        "from sales group by id % 7",
+    )
+    views.register(
+        "top_tickets",
+        "select id as sale, price as price from sales "
+        "order by price desc, sale asc limit 5",
+    )
+    views.register(
+        "hot_margins",
+        EventFlow(database, "sales", label="tickets")
+        .derive(margin="price - prod_costs")
+        .aggregate(by=[], totals={"total_margin": "sum(margin)",
+                                  "n": "count(*)"})
+        .having("n > 0"),
+    )
+    subscription = views.subscribe("by_bucket", "dashboard")
+
+    rng = Random(args.seed)
+    table = database.catalog.table("sales")
+    live = [
+        (raw[0], raw[1] / 100, raw[2] / 100, raw[3] / 100)
+        for raw in zip(*table.columns)
+    ]
+    next_id = max(row[0] for row in live) + 1
+    for _ in range(max(1, args.batches)):
+        changes = []
+        for _ in range(4):
+            row = (
+                next_id,
+                round(rng.uniform(1.0, 700.0), 2),
+                round(rng.uniform(1.0, 1.4), 2),
+                round(rng.uniform(1.0, 300.0), 2),
+            )
+            next_id += 1
+            live.append(row)
+            changes.append((row, 1))
+        for _ in range(2):
+            changes.append((live.pop(rng.randrange(len(live))), -1))
+        views.apply({"sales": changes})
+
+    for view_name in ("by_bucket", "top_tickets", "hot_margins"):
+        view = views.view(view_name)
+        print(
+            f"view {view.name} v{view.version}: "
+            f"{len(view.materialize())} row(s)",
+            file=out,
+        )
+        for row in view.materialize()[:5]:
+            print(f"  {row}", file=out)
+    updates = subscription.pull()
+    deltas = sum(1 for update in updates if update.kind == "delta")
+    changed = sum(len(update.rows) for update in updates
+                  if update.kind == "delta")
+    print(
+        f"subscription 'dashboard' on by_bucket: 1 snapshot + "
+        f"{deltas} delta update(s), {changed} (row, weight) change(s)",
+        file=out,
+    )
+    print(file=out)
+    print(views.maintenance_report(), file=out)
+    snapshot = service.profile_snapshot()
+    if snapshot is not None:
+        per_view = sum(s.samples for s in snapshot.views.values())
+        print(
+            f"\nprofiling: {snapshot.maintenance_samples} maintenance "
+            f"samples ({per_view} attributed per-view), "
+            f"{snapshot.maintenance_instructions:,} maintenance "
+            f"instructions",
+            file=out,
+        )
     return 0
 
 

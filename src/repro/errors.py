@@ -68,3 +68,8 @@ class VMError(ReproError):
 
 class ProfilingError(ReproError):
     """Raised by the Tailored Profiling post-processing stage."""
+
+
+class ViewError(ReproError):
+    """Raised by the materialized-view tier: a query that cannot be
+    maintained incrementally, a bad delta, or a misused subscription."""

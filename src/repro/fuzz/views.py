@@ -1,0 +1,306 @@
+"""The ``views-incremental`` differential fuzz oracle.
+
+Standing queries from the shared grammar are registered as materialized
+views over a seeded random dataset; a seeded :class:`DeltaGenerator` then
+mutates the dataset in batches — insertions (occasionally with weight 2),
+retractions of existing rows, and periodic targeted purges that drive
+whole groups to weight zero — and after *every* batch each view's
+maintained state is bag-compared against re-running its query from
+scratch on a twin database rebuilt from the mutated dataset.
+
+Views with a LIMIT are compared against a Python top-K of the unlimited
+re-execution: the grammar only attaches LIMIT when the ORDER BY covers
+every output column (so rows tied on all keys are identical and the kept
+bag is deterministic).  A per-dataset profiling invariant rides along:
+the profiler's per-view maintenance sample totals must sum exactly to
+its maintenance total.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.catalog.schema import DataType
+from repro.errors import ReproError
+from repro.fuzz.dataset import Dataset, build_database, random_dataset
+from repro.fuzz.generator import GeneratedQuery, QueryGenerator
+from repro.fuzz.harness import MAX_REJECTS_PER_QUERY
+from repro.fuzz.oracle import bags_equal, is_sorted
+from repro.serve import QueryService, ServiceConfig
+from repro.views import ViewService
+
+_LIMIT_RE = re.compile(r"\s+limit\s+\d+\s*$", re.IGNORECASE)
+
+
+@dataclass
+class ViewsFuzzFailure:
+    """One maintained-vs-reexecuted disagreement (or invariant break)."""
+
+    seed: int
+    dataset_seed: int
+    view: str
+    sql: str
+    batch: int
+    reason: str
+
+
+@dataclass
+class ViewsFuzzReport:
+    seed: int
+    budget: int
+    views: int = 0
+    datasets: int = 0
+    batches: int = 0
+    checks: int = 0
+    rejected: int = 0
+    retractions: int = 0
+    elapsed: float = 0.0
+    failures: list[ViewsFuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+class DeltaGenerator:
+    """Seeded source of decoded delta batches over a working dataset.
+
+    Every batch it emits is also applied to ``working``, so the caller
+    can rebuild a from-scratch twin after each batch.  String values are
+    always drawn from the *original* dataset (the database's dictionary
+    is frozen); retractions only ever target rows currently present, so
+    no batch drives a base table negative.
+    """
+
+    def __init__(self, original: Dataset, working: Dataset, rng: Random):
+        self.original = original
+        self.working = working
+        self.rng = rng
+        self.batch_index = 0
+        self.retractions = 0
+
+    def _fresh_value(self, table: str, index: int, dtype: DataType):
+        rng = self.rng
+        source = self.original.tables[table]
+        pool = [row[index] for row in source.rows]
+        if dtype is DataType.STRING:
+            # the dictionary is frozen: only strings the database has seen
+            return rng.choice(pool)
+        if dtype is DataType.DATE:
+            return rng.choice(pool)
+        if dtype is DataType.DECIMAL:
+            return round(rng.uniform(-50.0, 400.0), 2)
+        if dtype is DataType.BOOL:
+            return rng.random() < 0.5
+        if pool and rng.random() < 0.6:
+            return rng.choice(pool)  # reuse ids: feeds joins and groups
+        return rng.randint(-3, 60)
+
+    def _fresh_row(self, table: str) -> tuple:
+        spec = self.original.tables[table]
+        return tuple(
+            self._fresh_value(table, i, dtype)
+            for i, (_, dtype) in enumerate(spec.columns)
+        )
+
+    def _purge(self, table: str, changes: list) -> None:
+        """Retract every row sharing one column value: the empty-group
+        deletion pressure (a whole group vanishes at once)."""
+        rows = self.working.tables[table].rows
+        if not rows:
+            return
+        rng = self.rng
+        victim = rng.choice(rows)
+        index = rng.randrange(len(victim))
+        value = victim[index]
+        doomed = [row for row in rows if row[index] == value]
+        for row in doomed:
+            changes.append((row, -1))
+            self.retractions += 1
+
+    def generate_batch(self) -> dict[str, list]:
+        """One decoded delta batch; mutates ``working`` to match."""
+        rng = self.rng
+        self.batch_index += 1
+        tables = [
+            name for name, spec in self.original.tables.items() if spec.rows
+        ]
+        batch: dict[str, list] = {}
+        for table in rng.sample(tables, rng.randint(1, len(tables))):
+            changes: list = []
+            if self.batch_index % 3 == 0 and rng.random() < 0.8:
+                self._purge(table, changes)
+            for _ in range(rng.randint(1, 5)):
+                working_rows = self.working.tables[table].rows
+                roll = rng.random()
+                if roll < 0.45 or not working_rows:
+                    weight = 2 if rng.random() < 0.15 else 1
+                    changes.append((self._fresh_row(table), weight))
+                else:
+                    changes.append((rng.choice(working_rows), -1))
+                    self.retractions += 1
+            # net the changes so retractions never exceed what is present
+            # (a purge followed by a random retract may double-count)
+            netted: dict[tuple, int] = {}
+            for row, weight in changes:
+                netted[row] = netted.get(row, 0) + weight
+            rows = self.working.tables[table].rows
+            final: list = []
+            for row, weight in netted.items():
+                if weight < 0:
+                    present = sum(1 for r in rows if r == row)
+                    weight = max(weight, -present)
+                if weight:
+                    final.append((row, weight))
+            if final:
+                batch[table] = final
+                for row, weight in final:
+                    if weight > 0:
+                        rows.extend([row] * weight)
+                    else:
+                        for _ in range(-weight):
+                            rows.remove(row)
+        return batch
+
+
+def _python_topk(rows: list[tuple], ordered_by: list[tuple[int, bool]],
+                 limit: int) -> list[tuple]:
+    """Reference top-K in the decoded domain: stable sorts from the last
+    key to the first (descending strings can't be negated)."""
+    ordered = list(rows)
+    for index, ascending in reversed(ordered_by):
+        ordered.sort(key=lambda row: row[index], reverse=not ascending)
+    return ordered[:limit]
+
+
+def _check_view(views: ViewService, name: str, query: GeneratedQuery,
+                ref_db, batch: int, report: ViewsFuzzReport,
+                dataset_seed: int) -> None:
+    view = views.view(name)
+    got = view.materialize()
+    report.checks += 1
+    try:
+        if view.circuit.limit is not None:
+            unlimited = _LIMIT_RE.sub("", query.sql)
+            reference = ref_db.execute_interpreted(unlimited).rows
+            want = _python_topk(reference, query.ordered_by,
+                                view.circuit.limit)
+        else:
+            want = ref_db.execute_interpreted(query.sql).rows
+    except ReproError as exc:
+        report.failures.append(ViewsFuzzFailure(
+            report.seed, dataset_seed, name, query.sql, batch,
+            f"reference re-execution failed: {exc}",
+        ))
+        return
+    if not bags_equal(got, want):
+        report.failures.append(ViewsFuzzFailure(
+            report.seed, dataset_seed, name, query.sql, batch,
+            f"maintained state diverged: {len(got)} maintained rows vs "
+            f"{len(want)} re-executed",
+        ))
+        return
+    if query.ordered_by and not is_sorted(got, query.ordered_by):
+        report.failures.append(ViewsFuzzFailure(
+            report.seed, dataset_seed, name, query.sql, batch,
+            "maintained state violates its ORDER BY",
+        ))
+
+
+def run_views_fuzz(
+    seed: int,
+    budget: int = 100,
+    *,
+    batches: int = 5,
+    views_per_dataset: int = 10,
+    time_limit: float | None = None,
+    log=None,
+) -> ViewsFuzzReport:
+    """Register ``budget`` fuzzed standing queries as materialized views
+    and differentially check every one after every delta batch."""
+    report = ViewsFuzzReport(seed=seed, budget=budget)
+    emit = log or (lambda message: None)
+    started = time.monotonic()
+    master = Random(seed)
+
+    while report.views < budget:
+        if time_limit is not None and time.monotonic() - started > time_limit:
+            emit(f"time limit reached after {report.views} views")
+            break
+        dataset_seed = master.randint(0, 2**31 - 1)
+        dataset = random_dataset(dataset_seed)
+        db = build_database(dataset)
+        service = QueryService(
+            db, ServiceConfig(workers=2, period=20_000, fast_vm=False)
+        )
+        views = ViewService(service)
+        generator = QueryGenerator(
+            dataset, Random(master.randint(0, 2**31 - 1))
+        )
+        report.datasets += 1
+
+        goal = min(views_per_dataset, budget - report.views)
+        registered: list[tuple[str, GeneratedQuery]] = []
+        rejects = 0
+        while len(registered) < goal and rejects < MAX_REJECTS_PER_QUERY * goal:
+            query = generator.generate()
+            name = f"v{len(registered)}"
+            try:
+                views.register(name, query.sql)
+            except ReproError:
+                # refused (subquery/limit shape) or binder-rejected —
+                # same bookkeeping as the main harness
+                report.rejected += 1
+                rejects += 1
+                continue
+            registered.append((name, query))
+        report.views += len(registered)
+        if not registered:
+            emit(f"dataset {dataset_seed}: no registrable queries")
+            continue
+
+        working = dataset.copy()
+        # batch 0: the initial load must already equal from-scratch
+        for name, query in registered:
+            _check_view(views, name, query, db, 0, report, dataset_seed)
+        deltas = DeltaGenerator(
+            dataset, working, Random(master.randint(0, 2**31 - 1))
+        )
+        for batch_index in range(1, batches + 1):
+            batch = deltas.generate_batch()
+            if batch:
+                views.apply(batch)
+            else:
+                views.apply({})
+            report.batches += 1
+            ref_db = build_database(working)
+            for name, query in registered:
+                _check_view(views, name, query, ref_db, batch_index,
+                            report, dataset_seed)
+        report.retractions += deltas.retractions
+
+        snapshot = service.profile_snapshot()
+        per_view = sum(s.samples for s in snapshot.views.values())
+        if per_view != snapshot.maintenance_samples:
+            report.failures.append(ViewsFuzzFailure(
+                seed, dataset_seed, "<profiler>", "", batches,
+                f"per-view sample totals ({per_view}) != maintenance "
+                f"total ({snapshot.maintenance_samples})",
+            ))
+        if report.failures:
+            for failure in report.failures:
+                emit(
+                    f"view {failure.view} batch {failure.batch}: "
+                    f"{failure.reason} — {failure.sql}"
+                )
+            break
+        emit(
+            f"dataset {dataset_seed}: {len(registered)} views x "
+            f"{batches} batches ok ({report.views}/{budget})"
+        )
+
+    report.elapsed = time.monotonic() - started
+    return report

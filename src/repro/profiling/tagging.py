@@ -44,6 +44,11 @@ class TaggingDictionary:
     # belongs to (a repro.storage.StorageRef), set by the engine when the
     # database has a columnar layout.  None outside storage-backed runs.
     storage_resolver: object = None
+    # view dimension (repro.views): standing-query ids and their circuit
+    # operators, so maintenance samples resolve through a *fifth*
+    # abstraction level (view -> circuit operator -> IR -> VM)
+    views: dict[int, str] = field(default_factory=dict)
+    view_operators: dict[int, dict[int, str]] = field(default_factory=dict)
 
     # -- population (compile time) ----------------------------------------
 
@@ -95,6 +100,27 @@ class TaggingDictionary:
     def task_of_tag(self, value: int) -> Task | None:
         """Resolve the task half of a (possibly qualified) tag value."""
         return self.tasks.get(value & TAG_TASK_MASK)
+
+    # -- view dimension (repro.views) ---------------------------------------
+    #
+    # Maintenance work reuses the same packed register layout: the query
+    # half carries a view id (offset far above any serve query id), the
+    # task half a delta-circuit node id.
+
+    def register_view(self, view_id: int, name: str,
+                      operators: dict[int, str]) -> None:
+        if view_id in self.views:
+            raise ProfilingError(f"view {view_id} registered twice")
+        self.views[view_id] = name
+        self.view_operators[view_id] = dict(operators)
+
+    def view_of_tag(self, value: int) -> str | None:
+        query_id, _ = self.decode_tag(value)
+        return self.views.get(query_id)
+
+    def view_operator_of_tag(self, value: int) -> str | None:
+        query_id, task_id = self.decode_tag(value)
+        return self.view_operators.get(query_id, {}).get(task_id)
 
     # -- lookup (post-processing time) --------------------------------------
 

@@ -56,6 +56,48 @@ class TemplateStats:
 
 
 @dataclass
+class ViewMaintenanceStats:
+    """Rolling maintenance cost of one materialized view (repro.views)."""
+
+    name: str
+    view_id: int
+    batches: int = 0
+    samples: int = 0
+    instructions: int = 0
+    cycles: int = 0
+    loads: int = 0
+    operator_samples: Counter = field(default_factory=Counter)
+    operator_instructions: Counter = field(default_factory=Counter)
+
+
+def _copy_view_stats(stats: ViewMaintenanceStats) -> ViewMaintenanceStats:
+    return ViewMaintenanceStats(
+        name=stats.name,
+        view_id=stats.view_id,
+        batches=stats.batches,
+        samples=stats.samples,
+        instructions=stats.instructions,
+        cycles=stats.cycles,
+        loads=stats.loads,
+        operator_samples=Counter(stats.operator_samples),
+        operator_instructions=Counter(stats.operator_instructions),
+    )
+
+
+def _counter_add(mine: Counter, other: Counter) -> Counter:
+    """Key-preserving counter addition.
+
+    ``Counter.__add__`` drops non-positive entries, which breaks merge's
+    identity (``empty.merge(s) == s``) and associativity whenever a
+    zero-count key is present on one side only — so merge never uses it.
+    """
+    out = Counter(mine)
+    for key, count in other.items():
+        out[key] = out.get(key, 0) + count
+    return out
+
+
+@dataclass
 class ProfileSnapshot:
     """A detached, mergeable copy of a profiler's rolling aggregate.
 
@@ -78,12 +120,30 @@ class ProfileSnapshot:
     templates: dict[str, TemplateStats]
     regions: Counter
     latencies: list[int]
+    # materialized-view maintenance (repro.views); defaulted so shards
+    # without a view tier keep constructing snapshots unchanged
+    maintenance_samples: int = 0
+    maintenance_instructions: int = 0
+    views: dict[int, ViewMaintenanceStats] = field(default_factory=dict)
 
     @property
     def accuracy(self) -> float:
         if self.attributed_samples == 0:
             return 1.0
         return self.matched_samples / self.attributed_samples
+
+    @classmethod
+    def empty(cls) -> "ProfileSnapshot":
+        """The merge identity: ``empty().merge(s) == s`` exactly."""
+        return cls(
+            queries=0,
+            samples=0,
+            attributed_samples=0,
+            matched_samples=0,
+            templates={},
+            regions=Counter(),
+            latencies=[],
+        )
 
     def merge(self, other: "ProfileSnapshot") -> "ProfileSnapshot":
         """Combine two snapshots into a new one (sources untouched)."""
@@ -99,9 +159,33 @@ class ProfileSnapshot:
             mine.samples += stats.samples
             mine.instructions += stats.instructions
             mine.latencies.extend(stats.latencies)
-            mine.operator_samples = mine.operator_samples + stats.operator_samples
+            mine.operator_samples = _counter_add(
+                mine.operator_samples, stats.operator_samples
+            )
             if not mine.sql:
                 mine.sql = stats.sql
+        views = {
+            view_id: _copy_view_stats(stats)
+            for view_id, stats in self.views.items()
+        }
+        for view_id, stats in other.views.items():
+            mine_view = views.get(view_id)
+            if mine_view is None:
+                views[view_id] = _copy_view_stats(stats)
+                continue
+            mine_view.batches += stats.batches
+            mine_view.samples += stats.samples
+            mine_view.instructions += stats.instructions
+            mine_view.cycles += stats.cycles
+            mine_view.loads += stats.loads
+            mine_view.operator_samples = _counter_add(
+                mine_view.operator_samples, stats.operator_samples
+            )
+            mine_view.operator_instructions = _counter_add(
+                mine_view.operator_instructions, stats.operator_instructions
+            )
+            if not mine_view.name:
+                mine_view.name = stats.name
         return ProfileSnapshot(
             queries=self.queries + other.queries,
             samples=self.samples + other.samples,
@@ -110,8 +194,15 @@ class ProfileSnapshot:
             ),
             matched_samples=self.matched_samples + other.matched_samples,
             templates=templates,
-            regions=self.regions + other.regions,
+            regions=_counter_add(self.regions, other.regions),
             latencies=self.latencies + other.latencies,
+            maintenance_samples=(
+                self.maintenance_samples + other.maintenance_samples
+            ),
+            maintenance_instructions=(
+                self.maintenance_instructions + other.maintenance_instructions
+            ),
+            views=views,
         )
 
     def workload_profile(self, top_k: int = 10) -> "WorkloadProfile":
@@ -126,6 +217,8 @@ class ProfileSnapshot:
             latency_p50=percentile(self.latencies, 0.50),
             latency_p95=percentile(self.latencies, 0.95),
             latency_p99=percentile(self.latencies, 0.99),
+            maintenance_samples=self.maintenance_samples,
+            views=dict(self.views),
         )
 
 
@@ -153,6 +246,8 @@ class WorkloadProfile:
     latency_p50: int
     latency_p95: int
     latency_p99: int
+    maintenance_samples: int = 0
+    views: dict[int, ViewMaintenanceStats] = field(default_factory=dict)
 
     @property
     def accuracy(self) -> float:
@@ -188,6 +283,20 @@ class WorkloadProfile:
                 lines.append(f"    {first[:72]}")
             for label, share in list(stats.operator_shares().items())[:6]:
                 lines.append(f"    {share:6.1%}  {label}")
+        if self.views:
+            lines.append(
+                f"  view maintenance    {self.maintenance_samples} samples"
+            )
+            for stats in sorted(
+                self.views.values(), key=lambda s: -s.instructions
+            ):
+                lines.append(
+                    f"    view {stats.name}  ({stats.batches} batches, "
+                    f"{stats.instructions} instructions, "
+                    f"{stats.samples} samples)"
+                )
+                for label, count in stats.operator_instructions.most_common(6):
+                    lines.append(f"      {count:8d}  {label}")
         return "\n".join(lines)
 
 
@@ -207,6 +316,11 @@ class ContinuousProfiler:
         self.templates: dict[str, TemplateStats] = {}
         self.region_counter: Counter = Counter()
         self.latencies: list[int] = []
+        # materialized-view maintenance (repro.views): per-view rolling
+        # cost, attributed through the tag register's view-id half
+        self.maintenance_samples_total = 0
+        self.maintenance_instructions_total = 0
+        self.view_stats: dict[int, ViewMaintenanceStats] = {}
 
     # -- per-unit (called by the scheduler after every dispatched unit) ----
 
@@ -224,6 +338,46 @@ class ContinuousProfiler:
             self.attributed_samples += 1
             if sample.query_id == truth:
                 self.matched_samples += 1
+
+    # -- per-view maintenance (called by repro.views after each charge) ----
+
+    def observe_view_unit(self, view_id: int, name: str, label: str,
+                          new_samples, instructions: int, cycles: int,
+                          loads: int = 0) -> None:
+        """Fold one delta operator's metered maintenance work, plus any
+        PMU samples it produced, into the view's rolling stats.
+
+        The same accuracy bookkeeping as :meth:`observe_unit` applies: the
+        view tier is the scheduler here, so ground truth is the view id it
+        installed in the tag register before charging."""
+        stats = self.view_stats.get(view_id)
+        if stats is None:
+            stats = self.view_stats[view_id] = ViewMaintenanceStats(
+                name=name, view_id=view_id
+            )
+        stats.samples += len(new_samples)
+        stats.instructions += instructions
+        stats.cycles += cycles
+        stats.loads += loads
+        stats.operator_samples[label] += len(new_samples)
+        stats.operator_instructions[label] += instructions
+        self.maintenance_samples_total += len(new_samples)
+        self.maintenance_instructions_total += instructions
+        self.samples_total += len(new_samples)
+        for sample in new_samples:
+            if sample.registers is None:
+                continue
+            self.attributed_samples += 1
+            if sample.query_id == view_id:
+                self.matched_samples += 1
+
+    def note_view_batch(self, view_id: int, name: str) -> None:
+        stats = self.view_stats.get(view_id)
+        if stats is None:
+            stats = self.view_stats[view_id] = ViewMaintenanceStats(
+                name=name, view_id=view_id
+            )
+        stats.batches += 1
 
     # -- per-query (called at completion) ----------------------------------
 
@@ -310,6 +464,12 @@ class ContinuousProfiler:
             },
             regions=Counter(self.region_counter),
             latencies=list(self.latencies),
+            maintenance_samples=self.maintenance_samples_total,
+            maintenance_instructions=self.maintenance_instructions_total,
+            views={
+                view_id: _copy_view_stats(stats)
+                for view_id, stats in self.view_stats.items()
+            },
         )
 
     def workload_profile(self) -> WorkloadProfile:
@@ -323,6 +483,8 @@ class ContinuousProfiler:
             latency_p50=percentile(self.latencies, 0.50),
             latency_p95=percentile(self.latencies, 0.95),
             latency_p99=percentile(self.latencies, 0.99),
+            maintenance_samples=self.maintenance_samples_total,
+            views=dict(self.view_stats),
         )
 
     @property

@@ -68,6 +68,26 @@ class _FlowBinder(Binder):
         return super().resolve_column(node)
 
 
+class _ScopeBinder(Binder):
+    """Post-aggregation binder: only the aggregate scope's names resolve
+    (per-event columns are gone once the flow has aggregated)."""
+
+    def __init__(self, catalog, scope: dict[str, IU]):
+        super().__init__(catalog)
+        self._scans = []
+        self._alias_index = {}
+        self._inner_start = 0
+        self._scope = scope
+
+    def resolve_column(self, node: ast.Identifier):
+        if node.qualifier is None and node.name in self._scope:
+            return IURef(self._scope[node.name])
+        raise SqlError(
+            f"unknown column {node.name!r} after aggregate(); available: "
+            + ", ".join(sorted(self._scope))
+        )
+
+
 class EventFlow:
     """A chainable dataflow over one event table.
 
@@ -229,6 +249,23 @@ class EventFlow:
             self._plan = LogicalMap(self._plan, post_map)
             self._labels[self._plan.op_id] = f"finalize#{self._next_stage()}"
         self._agg_scope = scope
+        return self
+
+    def having(self, condition: str) -> "EventFlow":
+        """Filter aggregated groups by a boolean expression.
+
+        Only names from the aggregate scope (group keys and totals) are
+        visible; per-event columns are gone once the flow has aggregated.
+        """
+        self._require_streaming_side()
+        if self._agg_scope is None:
+            raise SqlError("having() requires aggregate() first")
+        binder = _ScopeBinder(self._db.catalog, self._agg_scope)
+        bound = binder.bind_scalar(parse_expression(condition))
+        if bound.dtype is not DataType.BOOL:
+            raise SqlError("having() needs a boolean expression")
+        self._plan = LogicalFilter(self._plan, bound)
+        self._labels[self._plan.op_id] = f"having#{self._next_stage()}"
         return self
 
     def order_by(self, *names: str, descending: bool = False) -> "EventFlow":

@@ -1,0 +1,32 @@
+"""repro.views: incremental materialized views (a DBSP-style serving tier).
+
+Standing queries — SQL or EventFlow — compile to delta circuits that are
+maintained incrementally from Z-set (row, ±weight) batches and pushed to
+session subscribers; maintenance cost is charged to the serve tier's VM
+workers under per-view tags.  See docs/VIEWS.md.
+"""
+
+from repro.errors import ViewError
+from repro.views.circuit import Circuit, CostMeter, TopKState, build_circuit
+from repro.views.service import (
+    VIEW_QUERY_ID_BASE,
+    MaterializedView,
+    Subscription,
+    ViewService,
+    ViewUpdate,
+)
+from repro.views.zset import ZSet
+
+__all__ = [
+    "Circuit",
+    "CostMeter",
+    "MaterializedView",
+    "Subscription",
+    "TopKState",
+    "VIEW_QUERY_ID_BASE",
+    "ViewError",
+    "ViewService",
+    "ViewUpdate",
+    "ZSet",
+    "build_circuit",
+]

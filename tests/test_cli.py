@@ -188,3 +188,30 @@ def test_cli_fuzz_progress_output():
     ])
     assert code == 0
     assert "executor runs" in text
+
+
+def test_cli_views_demo():
+    code, text = run_cli(["views", "--batches", "2"])
+    assert code == 0
+    assert "view by_bucket" in text
+    assert "view top_tickets" in text
+    assert "view hot_margins" in text
+    assert "subscription 'dashboard'" in text
+    assert "view maintenance" in text
+    assert "maintenance samples" in text
+
+
+def test_cli_views_fuzz_smoke():
+    code, text = run_cli([
+        "views", "--fuzz", "--queries", "5", "--batches", "2", "--quiet",
+    ])
+    assert code == 0
+    last = text.strip().splitlines()[-1]
+    assert "views-fuzz seed=0" in last
+    assert "0 disagreement(s)" in last
+
+
+def test_cli_views_fuzz_rejects_bad_budget():
+    code, text = run_cli(["views", "--fuzz", "--queries", "0"])
+    assert code == 2
+    assert "--queries" in text

@@ -277,6 +277,75 @@ def test_warmed_plans_survive_epochs(db):
     assert db.plan_cache.hits >= hits_before + 3
 
 
+# -- snapshot merge algebra ---------------------------------------------------
+
+
+def _small_snapshot(db, queries=4, clients=2):
+    service = make_service(db, workers=2)
+    items = synthetic_workload(service, queries=queries, clients=clients)
+    summary = run_workload(service, items)
+    assert summary.clean
+    return service.profile_snapshot()
+
+
+def test_snapshot_merge_identity(db):
+    """Regression: merge used ``Counter + Counter``, which silently drops
+    zero-count keys, so merging with an empty snapshot was not a no-op."""
+    from collections import Counter
+
+    from repro.serve.profiler import ProfileSnapshot
+
+    snapshot = _small_snapshot(db)
+    # plant a zero-count region key: the old implementation lost it
+    snapshot.regions["phantom-region"] = 0
+    for stats in snapshot.templates.values():
+        stats.operator_samples["phantom-op"] = 0
+        break
+    assert ProfileSnapshot.empty().merge(snapshot) == snapshot
+    assert snapshot.merge(ProfileSnapshot.empty()) == snapshot
+    identity = ProfileSnapshot.empty().merge(ProfileSnapshot.empty())
+    assert identity == ProfileSnapshot.empty()
+    assert identity.regions == Counter()
+
+
+def test_snapshot_merge_associative_with_disjoint_templates(db):
+    from repro.serve.profiler import ProfileSnapshot
+
+    a = _small_snapshot(db, queries=4, clients=2)
+    b = _small_snapshot(db, queries=3, clients=1)
+    c = ProfileSnapshot.empty()
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left == right
+    assert left.samples == a.samples + b.samples
+    assert set(left.templates) == set(a.templates) | set(b.templates)
+
+
+def test_snapshot_merge_combines_view_maintenance(db):
+    from repro.serve.profiler import ProfileSnapshot
+    from repro.views import ViewService
+
+    service = make_service(db, workers=2)
+    views = ViewService(service)
+    views.register(
+        "g", "select category, count(*) n from products group by category"
+    )
+    snapshot = service.profile_snapshot()
+    assert snapshot.views
+    doubled = snapshot.merge(snapshot)
+    assert doubled.maintenance_samples == 2 * snapshot.maintenance_samples
+    assert (
+        doubled.maintenance_instructions
+        == 2 * snapshot.maintenance_instructions
+    )
+    for view_id, stats in snapshot.views.items():
+        assert doubled.views[view_id].samples == 2 * stats.samples
+        assert doubled.views[view_id].batches == 2 * stats.batches
+    # a shard with no view tier merges in without disturbing view stats
+    merged = snapshot.merge(ProfileSnapshot.empty())
+    assert merged == snapshot
+
+
 # -- workload files and CLI --------------------------------------------------
 
 

@@ -85,3 +85,133 @@ def test_meta_round_trip(saved):
     session = load_session(directory)
     assert session.meta["period"] == profile.config.period
     assert session.meta["cycles"] == profile.result.cycles
+
+
+# -- serve sessions under view subscriptions ---------------------------------
+#
+# A service session that subscribes to a materialized view holds a
+# standing delivery channel; closing or reopening the session must never
+# leave the (old or new) subscriber with a gap or a duplicate version.
+
+
+def _view_setup():
+    from collections import Counter
+
+    from repro import Database
+    from repro.serve import QueryService, ServiceConfig
+    from repro.views import ViewService
+
+    db = Database.example(n_sales=300, n_products=30)
+    service = QueryService(db, ServiceConfig(workers=2))
+    views = ViewService(service)
+    views.register(
+        "g",
+        "select id % 5 as b, sum(price) as total, count(*) as n "
+        "from sales group by id % 5",
+    )
+    table = db.catalog.table("sales")
+    live = [
+        (raw[0], raw[1] / 100, raw[2] / 100, raw[3] / 100)
+        for raw in zip(*table.columns)
+    ]
+    return service, views, live, Counter
+
+
+def _apply_one(views, live, step):
+    row = (100_000 + step, 10.0 * (step + 1), 1.19, 5.0)
+    views.apply({"sales": [(row, 1), (live[step], -1)]})
+
+
+def _replay(updates, Counter):
+    """Fold a snapshot + delta stream into the state bag it describes."""
+    bag = Counter()
+    for update in updates:
+        if update.kind == "snapshot":
+            bag = Counter()
+            for row in update.rows:
+                bag[row] += 1
+        else:
+            for row, weight in update.rows:
+                bag[row] += weight
+    return +bag
+
+
+def test_closed_session_stops_receiving_deltas():
+    service, views, live, Counter = _view_setup()
+    session = service.session("client")
+    subscription = views.subscribe("g", session)
+    _apply_one(views, live, 0)
+    session.close()
+    _apply_one(views, live, 1)
+    updates = subscription.pull()
+    # snapshot + exactly the one pre-close delta; the post-close batch
+    # must not be delivered, and the subscription is dropped
+    assert [u.kind for u in updates] == ["snapshot", "delta"]
+    assert not subscription.active
+    assert subscription not in views.view("g").subscribers
+
+
+def test_reopened_session_gets_consistent_snapshot_and_deltas():
+    service, views, live, Counter = _view_setup()
+    session = service.session("client")
+    stale = views.subscribe("g", session)
+    _apply_one(views, live, 0)
+    session.close()
+    reopened = service.session("client")
+    assert reopened is not session and not reopened.closed
+
+    # deltas applied between reopen and resubscribe reach no one...
+    _apply_one(views, live, 1)
+    fresh = views.subscribe("g", reopened)
+    _apply_one(views, live, 2)
+    _apply_one(views, live, 3)
+
+    updates = fresh.pull()
+    # ...because the fresh subscription starts from a snapshot taken at
+    # the current version: no gap, no duplicate
+    assert [u.kind for u in updates] == ["snapshot", "delta", "delta"]
+    versions = [u.version for u in updates]
+    assert versions == list(range(versions[0], versions[0] + 3))
+    maintained = Counter()
+    for row in views.view("g").materialize():
+        maintained[row] += 1
+    assert _replay(updates, Counter) == maintained
+
+    # the superseded subscription saw only its own era
+    stale_updates = stale.pull()
+    assert [u.kind for u in stale_updates] == ["snapshot", "delta"]
+    assert not stale.active
+
+
+def test_reopen_supersedes_even_unclosed_subscription():
+    """A reopen hands out a *new* session object under the same name; a
+    subscription pinned to the old object must stop receiving even though
+    the old object was never explicitly closed after the reopen."""
+    service, views, live, Counter = _view_setup()
+    session = service.session("client")
+    subscription = views.subscribe("g", session)
+    session.close()
+    reopened = service.session("client")
+    assert service.sessions.sessions["client"] is reopened
+    _apply_one(views, live, 0)
+    updates = subscription.pull()
+    assert [u.kind for u in updates] == ["snapshot"]
+    assert not subscription.active
+
+
+def test_two_sessions_one_view_independent_queues():
+    service, views, live, Counter = _view_setup()
+    a = views.subscribe("g", service.session("a"))
+    _apply_one(views, live, 0)
+    b = views.subscribe("g", service.session("b"))
+    _apply_one(views, live, 1)
+    a_updates = a.pull()
+    b_updates = b.pull()
+    assert [u.kind for u in a_updates] == ["snapshot", "delta", "delta"]
+    assert [u.kind for u in b_updates] == ["snapshot", "delta"]
+    # both streams replay to the same maintained state
+    maintained = Counter()
+    for row in views.view("g").materialize():
+        maintained[row] += 1
+    assert _replay(a_updates, Counter) == maintained
+    assert _replay(b_updates, Counter) == maintained

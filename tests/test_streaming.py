@@ -149,6 +149,53 @@ def test_stage_ordering_errors(events_db):
          .aggregate(by=["ts"], totals={"n": "clicks + 1"}))
 
 
+def test_having_matches_equivalent_sql(events_db):
+    flow = (EventFlow(events_db, "events")
+            .tumbling_window("ts", days=7)
+            .aggregate(by=["window_start", "user"],
+                       totals={"total": "sum(amount)", "n": "count(*)"})
+            .having("n > 5 and total > 50.0")
+            .order_by("window_start", "user"))
+    sql_rows = events_db.execute(
+        "select ts - (ts % 7) as w, user, sum(amount) total, count(*) n "
+        "from events group by ts - (ts % 7), user "
+        "having count(*) > 5 and sum(amount) > 50.0 "
+        "order by w, user"
+    ).rows
+    assert rows_match(flow.run().rows, sql_rows)
+    assert rows_match(flow.run_interpreted(), sql_rows)
+    assert len(sql_rows) > 0
+
+
+def test_having_can_filter_on_group_keys(events_db):
+    flow = (EventFlow(events_db, "events")
+            .aggregate(by=["user"], totals={"n": "count(*)"})
+            .having("user = 'alice'"))
+    rows = flow.run().rows
+    assert len(rows) == 1 and rows[0][0] == "alice"
+
+
+def test_having_uses_dsl_vocabulary_in_reports(events_db):
+    flow = (EventFlow(events_db, "events")
+            .tumbling_window("ts", days=7)
+            .aggregate(by=["window_start"], totals={"n": "count(*)"})
+            .having("n > 5"))
+    plan = flow.profile().annotated_plan()
+    assert "having#" in plan
+
+
+def test_having_stage_errors(events_db):
+    with pytest.raises(SqlError):
+        EventFlow(events_db, "events").having("clicks > 0")
+    aggregated = (EventFlow(events_db, "events")
+                  .aggregate(by=["user"], totals={"n": "count(*)"}))
+    with pytest.raises(SqlError) as exc_info:
+        aggregated.having("clicks > 0")  # per-event column is gone
+    assert "available" in str(exc_info.value)
+    with pytest.raises(SqlError):
+        aggregated.having("n + 1")  # not a boolean
+
+
 def test_flow_on_tpch(tpch_db):
     flow = (EventFlow(tpch_db, "lineitem", label="shipments")
             .derive(revenue="l_extendedprice * (1 - l_discount)")
